@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at
+full fidelity, asserts its shape checks, times the underlying driven
+measurement with pytest-benchmark, and writes the rendered
+paper-versus-measured table to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import ExperimentContext, ExperimentSettings
+
+MB = 1024 * 1024
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """Full-fidelity shared context; runs are cached across benchmarks."""
+    return ExperimentContext(
+        ExperimentSettings(
+            transactions=1200, warmup=100, allocated_db_bytes=8 * MB
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a rendered table to the results directory and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        sys.stdout.write("\n" + text + "\n")
+
+    return _emit
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    The experiments are deterministic and cache-backed, so repeated
+    timing rounds would only measure the cache.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,32 @@
+"""Ablation: how much of the logging scheme's win is write-combining?
+Re-runs the passive Version 3 and active schemes against a SAN whose
+interface cannot coalesce stores into larger packets."""
+
+from conftest import once
+
+from repro.experiments import ablations
+from repro.perf.report import ReportTable
+
+
+def test_ablation_coalescing(ctx, benchmark, emit):
+    result = once(benchmark, lambda: ablations.run(ctx))
+    result.check()
+    table = ReportTable(
+        "Ablation: packet coalescing (txns/sec)",
+        ["configuration", "Debit-Credit", "Order-Entry"],
+    )
+    for name in ("passive-v3", "passive-v3-no-coalescing"):
+        table.add_row(
+            name,
+            result.rows[name]["debit-credit"],
+            result.rows[name]["order-entry"],
+        )
+    for workload in ("debit-credit", "order-entry"):
+        loss = (
+            1
+            - result.rows["passive-v3-no-coalescing"][workload]
+            / result.rows["passive-v3"][workload]
+        ) * 100
+        table.add_note(f"{workload}: coalescing is worth {loss:.0f}% of "
+                       f"passive-V3 throughput")
+    emit("ablation_coalescing", table.render())

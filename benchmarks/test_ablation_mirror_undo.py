@@ -1,0 +1,27 @@
+"""Ablation: the Section 5.1 optimization — keeping the mirror
+versions' set_range array primary-local — versus shipping it."""
+
+from conftest import once
+
+from repro.experiments import ablations
+from repro.perf.report import ReportTable
+
+
+def test_ablation_mirror_undo(ctx, benchmark, emit):
+    result = once(benchmark, lambda: ablations.run(ctx))
+    result.check()
+    table = ReportTable(
+        "Ablation: shipping the mirror versions' undo log (txns/sec)",
+        ["configuration", "Debit-Credit", "Order-Entry"],
+    )
+    for name in ("passive-v1", "passive-v1-ship-undo"):
+        table.add_row(
+            name,
+            result.rows[name]["debit-credit"],
+            result.rows[name]["order-entry"],
+        )
+    table.add_note(
+        "keeping the array local trades faster failure-free operation "
+        "for a whole-database restore at failover (Section 5.1)"
+    )
+    emit("ablation_mirror_undo", table.render())

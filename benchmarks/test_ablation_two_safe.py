@@ -1,0 +1,27 @@
+"""Ablation: closing the 1-safe window with a 2-safe commit costs one
+SAN round trip per transaction."""
+
+from conftest import once
+
+from repro.experiments import ablations
+from repro.perf.report import ReportTable
+
+
+def test_ablation_two_safe(ctx, benchmark, emit):
+    result = once(benchmark, lambda: ablations.run(ctx))
+    result.check()
+    table = ReportTable(
+        "Ablation: 1-safe vs 2-safe commit (txns/sec)",
+        ["configuration", "Debit-Credit", "Order-Entry"],
+    )
+    for name in ("active", "active-2safe"):
+        table.add_row(
+            name,
+            result.rows[name]["debit-credit"],
+            result.rows[name]["order-entry"],
+        )
+    table.add_note(
+        "the paper accepts a few-microsecond loss window; this is what "
+        "closing it would cost"
+    )
+    emit("ablation_two_safe", table.render())

@@ -1,0 +1,31 @@
+"""Raw Python-level engine speed (not a paper figure).
+
+Times the four engine implementations actually executing Debit-Credit
+transactions in this reproduction. Useful for tracking performance
+regressions of the library itself; the simulated-hardware throughput
+numbers live in the table benchmarks.
+"""
+
+import pytest
+
+from repro.memory.rio import RioMemory
+from repro.vista import ENGINE_VERSIONS, EngineConfig, create_engine
+from repro.workloads import DebitCreditWorkload
+
+MB = 1024 * 1024
+CONFIG = EngineConfig(db_bytes=4 * MB, log_bytes=512 * 1024)
+BATCH = 200
+
+
+@pytest.mark.parametrize("version", list(ENGINE_VERSIONS))
+def test_engine_transaction_rate(version, benchmark):
+    engine = create_engine(version, RioMemory(f"speed-{version}"), CONFIG)
+    workload = DebitCreditWorkload(CONFIG.db_bytes, seed=1)
+    workload.setup(engine)
+
+    def run_batch():
+        for _ in range(BATCH):
+            workload.run_transaction(engine)
+
+    benchmark.pedantic(run_batch, rounds=3, iterations=1, warmup_rounds=1)
+    workload.verify(engine)

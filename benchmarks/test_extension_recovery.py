@@ -1,0 +1,13 @@
+"""Extension benchmark: recovery time and availability per design."""
+
+from conftest import once
+
+from repro.experiments import extension_recovery
+
+MB = 1024 * 1024
+
+
+def test_extension_recovery(benchmark, emit):
+    result = once(benchmark, lambda: extension_recovery.run(db_bytes=8 * MB))
+    result.check()
+    emit("extension_recovery", result.table().render())

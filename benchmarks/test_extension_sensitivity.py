@@ -1,0 +1,12 @@
+"""Extension benchmark: conclusion robustness across the calibration
+grid."""
+
+from conftest import once
+
+from repro.experiments import extension_sensitivity
+
+
+def test_extension_sensitivity(ctx, benchmark, emit):
+    result = once(benchmark, lambda: extension_sensitivity.run(ctx))
+    result.check()
+    emit("extension_sensitivity", result.table().render())

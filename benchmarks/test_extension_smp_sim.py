@@ -1,0 +1,13 @@
+"""Extension benchmark: validate the SMP closed form by simulation."""
+
+from conftest import once
+
+from repro.experiments import extension_smp_sim
+
+
+def test_extension_smp_sim(ctx, benchmark, emit):
+    result = once(
+        benchmark, lambda: extension_smp_sim.run(ctx, duration_us=15_000.0)
+    )
+    result.check()
+    emit("extension_smp_sim", result.table().render())

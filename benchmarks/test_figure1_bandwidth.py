@@ -1,0 +1,11 @@
+"""Figure 1: effective Memory Channel bandwidth vs packet size."""
+
+from conftest import once
+
+from repro.experiments import figure1
+
+
+def test_figure1_bandwidth(benchmark, emit):
+    result = once(benchmark, lambda: figure1.run(region_bytes=1 << 18))
+    result.check()
+    emit("figure1", result.table().render())

@@ -1,0 +1,14 @@
+"""Figures 2 and 3: SMP-primary scaling, 1-4 CPUs per protocol."""
+
+from conftest import once
+
+from repro.experiments import figures2_3
+
+
+def test_figures23_smp(ctx, benchmark, emit):
+    result = once(benchmark, lambda: figures2_3.run(ctx))
+    result.check()
+    emit(
+        "figures2_3",
+        result.figure("debit-credit") + "\n\n" + result.figure("order-entry"),
+    )

@@ -1,0 +1,12 @@
+"""Table 1: the straightforward (Version 0 write-through) cluster
+implementation collapses throughput."""
+
+from conftest import once
+
+from repro.experiments import table1_2
+
+
+def test_table1_straightforward(ctx, benchmark, emit):
+    result = once(benchmark, lambda: table1_2.run(ctx))
+    result.check()
+    emit("table1", result.table1().render())

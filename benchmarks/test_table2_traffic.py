@@ -1,0 +1,12 @@
+"""Table 2: traffic breakdown of the straightforward implementation —
+metadata dominates."""
+
+from conftest import once
+
+from repro.experiments import table1_2
+
+
+def test_table2_traffic(ctx, benchmark, emit):
+    result = once(benchmark, lambda: table1_2.run(ctx))
+    result.check()
+    emit("table2", result.table2().render())

@@ -1,0 +1,11 @@
+"""Table 3: standalone throughput of the restructured engines."""
+
+from conftest import once
+
+from repro.experiments import table3
+
+
+def test_table3_standalone(ctx, benchmark, emit):
+    result = once(benchmark, lambda: table3.run(ctx))
+    result.check()
+    emit("table3", result.table().render())

@@ -1,0 +1,11 @@
+"""Table 4: passive-backup throughput for every engine version."""
+
+from conftest import once
+
+from repro.experiments import table4_5
+
+
+def test_table4_passive(ctx, benchmark, emit):
+    result = once(benchmark, lambda: table4_5.run(ctx))
+    result.check()
+    emit("table4", result.table4().render())

@@ -1,0 +1,11 @@
+"""Table 5: per-version traffic to the passive backup."""
+
+from conftest import once
+
+from repro.experiments import table4_5
+
+
+def test_table5_passive_traffic(ctx, benchmark, emit):
+    result = once(benchmark, lambda: table4_5.run(ctx))
+    result.check()
+    emit("table5", result.table5().render())

@@ -1,0 +1,11 @@
+"""Table 6: best passive (Version 3) versus the active backup."""
+
+from conftest import once
+
+from repro.experiments import table6_7
+
+
+def test_table6_active(ctx, benchmark, emit):
+    result = once(benchmark, lambda: table6_7.run(ctx))
+    result.check()
+    emit("table6", result.table6().render())

@@ -1,0 +1,11 @@
+"""Table 7: traffic, active vs best passive."""
+
+from conftest import once
+
+from repro.experiments import table6_7
+
+
+def test_table7_active_traffic(ctx, benchmark, emit):
+    result = once(benchmark, lambda: table6_7.run(ctx))
+    result.check()
+    emit("table7", result.table7().render())

@@ -1,0 +1,11 @@
+"""Table 8: active-backup throughput at 10 MB / 100 MB / 1 GB."""
+
+from conftest import once
+
+from repro.experiments import table8
+
+
+def test_table8_dbsize(ctx, benchmark, emit):
+    result = once(benchmark, lambda: table8.run(ctx))
+    result.check()
+    emit("table8", result.table().render())

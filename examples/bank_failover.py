@@ -1,0 +1,83 @@
+"""A replicated bank: Debit-Credit with crash detection and takeover.
+
+Runs the paper's Debit-Credit benchmark (TPC-B variant) against an
+active-backup pair, crashes the primary mid-stream, detects the
+failure with a heartbeat monitor on the discrete-event simulator,
+fails over, verifies every balance against a shadow model, and then
+keeps serving on the new primary.
+
+Run:  python examples/bank_failover.py
+"""
+
+from repro.cluster.membership import HeartbeatMonitor, Membership
+from repro.cluster.node import Node
+from repro.replication import ActiveReplicatedSystem
+from repro.sim.engine import Simulator
+from repro.vista import EngineConfig
+from repro.workloads import DebitCreditWorkload
+
+MB = 1024 * 1024
+
+
+def main() -> None:
+    config = EngineConfig(db_bytes=4 * MB, log_bytes=512 * KB)
+    system = ActiveReplicatedSystem(config)
+    workload = DebitCreditWorkload(config.db_bytes, seed=2024)
+    workload.setup(system)
+    system.sync_initial()
+
+    print(f"bank: {workload.accounts.records:,} accounts, "
+          f"{workload.tellers.records} tellers, "
+          f"{workload.branches.records} branches")
+
+    for _ in range(500):
+        workload.run_transaction(system)
+    print(f"processed {workload.transactions_run} transactions on the primary")
+    print(f"redo stream: {system.total_bytes_sent:,} bytes, "
+          f"mean packet "
+          f"{system.primary_interface.trace.mean_packet_bytes():.1f} B")
+
+    # Wire a heartbeat monitor (the crash-detection machinery the paper
+    # delegates to the cluster service) to the failover path.
+    sim = Simulator()
+    primary_node = Node("primary")
+    view = Membership(members=["primary", "backup"], primary="primary")
+    outcome = {}
+
+    def on_failure():
+        view.fail("primary")
+        outcome["engine"] = system.failover()
+        outcome["detected_at"] = sim.now
+
+    HeartbeatMonitor(sim, primary_node, on_failure,
+                     interval_us=100.0, timeout_us=500.0).start()
+
+    def crash():
+        print("\n!! primary crashes at t=2000us")
+        primary_node.crash()
+        system.fail_primary()
+
+    sim.schedule_at(2_000.0, crash)
+    sim.run(until=10_000.0)
+
+    print(f"failure detected at t={outcome['detected_at']:.0f}us "
+          f"({outcome['detected_at'] - 2_000:.0f}us after the crash)")
+    print(f"membership view {view.view_id}: primary is now {view.primary!r}")
+
+    backup = outcome["engine"]
+    workload.verify(backup)
+    workload.consistency_check(backup)
+    print("backup verified: every balance matches the shadow model,")
+    print("account/teller/branch sums agree (TPC-B invariant)")
+
+    for _ in range(250):
+        workload.run_transaction(backup)
+    workload.verify(backup)
+    print(f"service continued: {workload.transactions_run} total "
+          f"transactions, still consistent")
+
+
+KB = 1024
+
+if __name__ == "__main__":
+    main()

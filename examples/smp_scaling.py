@@ -1,0 +1,42 @@
+"""SMP-primary scaling: the Section 8 experiment as a script.
+
+Runs one independent transaction stream per simulated CPU (disjoint
+data, 10 MB database per stream) for each replication design and shows
+how aggregate throughput scales as streams share the single Memory
+Channel link — the paper's Figures 2 and 3.
+
+Run:  python examples/smp_scaling.py [debit-credit|order-entry]
+"""
+
+import sys
+
+from repro.experiments import figures2_3
+from repro.experiments.common import ExperimentContext, ExperimentSettings
+
+MB = 1024 * 1024
+
+
+def main() -> None:
+    workloads = sys.argv[1:] or ["debit-credit", "order-entry"]
+    ctx = ExperimentContext(
+        ExperimentSettings(transactions=600, warmup=50,
+                           allocated_db_bytes=4 * MB)
+    )
+    result = figures2_3.run(ctx)
+    result.check()
+    for workload in workloads:
+        print(result.figure(workload))
+        print()
+        singles = result.singles[workload]
+        active_link = singles["active"].link_us
+        passive_link = singles["passive-v3"].link_us
+        print(
+            f"{workload}: one transaction occupies the link for "
+            f"{active_link:.2f}us (active) vs {passive_link:.2f}us "
+            f"(passive v3) — which is why the active curve keeps "
+            f"climbing while passive logging saturates.\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

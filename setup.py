@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` for the
+PEP 517 editable path; this shim lets pip fall back to the legacy
+``setup.py develop`` route (``--no-use-pep517``) on offline machines.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""repro — a reproduction of "Data Replication Strategies for Fault
+Tolerance and Availability on Commodity Clusters" (Amza, Cox &
+Zwaenepoel, DSN 2000).
+
+The library implements, for real and from scratch:
+
+* the **Rio** recoverable-memory substrate and the **Vista**
+  transaction engine in the paper's four structural variants
+  (:mod:`repro.vista`);
+* a **Memory Channel** system-area-network model with write-through
+  mappings, write doubling and write-buffer packet coalescing
+  (:mod:`repro.san`, :mod:`repro.hardware`);
+* **passive** (write-through) and **active** (redo-log) primary-backup
+  replication with 1-safe/2-safe commit and failover
+  (:mod:`repro.replication`, :mod:`repro.cluster`);
+* the **Debit-Credit** (TPC-B) and **Order-Entry** (TPC-C) benchmarks
+  (:mod:`repro.workloads`);
+* a calibrated **performance model** that converts measured operation
+  counts into the paper's tables and figures (:mod:`repro.perf`,
+  :mod:`repro.experiments`).
+
+Quick start::
+
+    from repro import RioMemory, EngineConfig, create_engine
+
+    engine = create_engine("v3", RioMemory("node"),
+                           EngineConfig(db_bytes=1 << 20))
+    engine.begin_transaction()
+    engine.set_range(0, 16)
+    engine.write(0, b"hello, vista!   ")
+    engine.commit_transaction()
+"""
+
+from repro.errors import ReproError
+from repro.memory.rio import RioMemory
+from repro.vista.api import EngineConfig, TransactionEngine
+from repro.vista.factory import ENGINE_VERSIONS, create_engine
+from repro.replication.active import ActiveReplicatedSystem
+from repro.replication.passive import PassiveReplicatedSystem
+from repro.replication.commit_safety import CommitSafety
+from repro.workloads import (
+    DebitCreditWorkload,
+    OrderEntryWorkload,
+    run_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "RioMemory",
+    "EngineConfig",
+    "TransactionEngine",
+    "ENGINE_VERSIONS",
+    "create_engine",
+    "PassiveReplicatedSystem",
+    "ActiveReplicatedSystem",
+    "CommitSafety",
+    "DebitCreditWorkload",
+    "OrderEntryWorkload",
+    "run_workload",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Cluster runtime: nodes, fault injection, failure detection.
+
+The paper scopes out crash detection and group-view management,
+pointing at Microsoft Cluster Service for well-known solutions
+(Section 1). This package provides the minimum the examples and
+fault-injection tests need — simulated nodes owning Rio memory and a
+Memory Channel interface, a fault injector that crashes a node at a
+chosen transaction or simulated time, and a heartbeat failure detector
+run on the discrete-event kernel — implemented here as an *extension*
+beyond the paper.
+"""
+
+from repro.cluster.node import Node
+from repro.cluster.faults import CrashPlan, FaultInjector
+from repro.cluster.membership import HeartbeatMonitor, Membership
+
+__all__ = [
+    "Node",
+    "CrashPlan",
+    "FaultInjector",
+    "HeartbeatMonitor",
+    "Membership",
+]

@@ -1,0 +1,93 @@
+"""Deterministic fault injection.
+
+A :class:`CrashPlan` names the point at which a component fails —
+after the Nth committed transaction, or at a simulated time — and the
+:class:`FaultInjector` fires the registered crash action when the
+workload driver (or the simulator) reaches that point. Keeping the
+plan declarative makes crash-recovery tests reproducible and lets the
+property-based tests sweep the crash point over every position in a
+transaction schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """When to crash.
+
+    Exactly one of ``after_transactions`` / ``at_time_us`` is set.
+    ``mid_transaction`` additionally asks the driver to crash *between*
+    the writes of the following transaction rather than at its
+    boundary, exercising undo recovery.
+    """
+
+    after_transactions: Optional[int] = None
+    at_time_us: Optional[float] = None
+    mid_transaction: bool = False
+
+    def __post_init__(self):
+        if (self.after_transactions is None) == (self.at_time_us is None):
+            raise ValueError(
+                "set exactly one of after_transactions / at_time_us"
+            )
+
+
+class FaultInjector:
+    """Fires crash actions when execution reaches planned points."""
+
+    def __init__(self) -> None:
+        self._plans: List[tuple] = []
+        self.fired: List[CrashPlan] = []
+
+    def schedule(self, plan: CrashPlan, action: Callable[[], None]) -> None:
+        self._plans.append((plan, action))
+
+    def on_transaction_committed(self, count: int) -> bool:
+        """Notify that ``count`` transactions have committed; fires any
+        matching plan. Returns True if a crash fired."""
+        fired = False
+        for plan, action in list(self._plans):
+            if (
+                plan.after_transactions is not None
+                and count >= plan.after_transactions
+            ):
+                self._fire(plan, action)
+                fired = True
+        return fired
+
+    def on_time(self, now_us: float) -> bool:
+        """Notify simulated time progress; fires any due time plan."""
+        fired = False
+        for plan, action in list(self._plans):
+            if plan.at_time_us is not None and now_us >= plan.at_time_us:
+                self._fire(plan, action)
+                fired = True
+        return fired
+
+    def next_transaction_boundary(self) -> Optional[CrashPlan]:
+        """The earliest pending transaction-count plan, if any."""
+        plans = [
+            plan
+            for plan, _action in self._plans
+            if plan.after_transactions is not None
+        ]
+        if not plans:
+            return None
+        return min(plans, key=lambda plan: plan.after_transactions)
+
+    def _fire(self, plan: CrashPlan, action: Callable[[], None]) -> None:
+        self._plans = [
+            (other_plan, other_action)
+            for other_plan, other_action in self._plans
+            if other_plan is not plan
+        ]
+        self.fired.append(plan)
+        action()
+
+    @property
+    def pending(self) -> int:
+        return len(self._plans)

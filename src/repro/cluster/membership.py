@@ -1,0 +1,97 @@
+"""Heartbeat failure detection and a two-node membership view.
+
+The paper defers crash detection and group-view management to
+well-known cluster services (Section 1, citing the Microsoft Cluster
+Service design). This module supplies a simple but honest version of
+that machinery on the discrete-event kernel: the primary emits
+heartbeats every ``interval_us``; the monitor on the backup declares
+the primary dead once no heartbeat has arrived for ``timeout_us`` and
+triggers failover. Detection latency is therefore bounded by
+``timeout_us`` plus one polling period — asserted by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.cluster.node import Node
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class Membership:
+    """The backup's view of who is in the cluster and who leads."""
+
+    members: List[str]
+    primary: str
+    view_id: int = 0
+    history: List[tuple] = field(default_factory=list)
+
+    def fail(self, name: str) -> None:
+        """Remove a member; promotes the first survivor if it led."""
+        if name not in self.members:
+            return
+        self.members.remove(name)
+        if self.primary == name:
+            if not self.members:
+                raise ValueError("no surviving member to promote")
+            self.primary = self.members[0]
+        self.view_id += 1
+        self.history.append((self.view_id, tuple(self.members), self.primary))
+
+
+class HeartbeatMonitor:
+    """Watches a node's heartbeats on the simulator; calls
+    ``on_failure`` when they stop for longer than the timeout."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        watched: Node,
+        on_failure: Callable[[], None],
+        interval_us: float = 1000.0,
+        timeout_us: float = 5000.0,
+    ):
+        if timeout_us <= interval_us:
+            raise ValueError("timeout must exceed the heartbeat interval")
+        self.sim = sim
+        self.watched = watched
+        self.on_failure = on_failure
+        self.interval_us = interval_us
+        self.timeout_us = timeout_us
+        self.detected_at_us: Optional[float] = None
+        self._stopped = False
+
+    def start(self) -> None:
+        """Begin heartbeating and monitoring."""
+        self.watched.heartbeat(self.sim.now)
+        self._schedule_beat()
+        self._schedule_check()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- internal ----------------------------------------------------------
+
+    def _schedule_beat(self) -> None:
+        self.sim.schedule_after(self.interval_us, self._beat, name="heartbeat")
+
+    def _beat(self) -> None:
+        if self._stopped:
+            return
+        self.watched.heartbeat(self.sim.now)
+        self._schedule_beat()
+
+    def _schedule_check(self) -> None:
+        self.sim.schedule_after(self.interval_us, self._check, name="hb-check")
+
+    def _check(self) -> None:
+        if self._stopped or self.detected_at_us is not None:
+            return
+        last = self.watched.last_heartbeat_us or 0.0
+        if self.sim.now - last > self.timeout_us:
+            self.detected_at_us = self.sim.now
+            self.on_failure()
+            return
+        self._schedule_check()

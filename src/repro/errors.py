@@ -1,0 +1,97 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this library derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class MemoryError_(ReproError):
+    """Base class for memory-subsystem errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``MemoryError``.
+    """
+
+
+class OutOfBoundsError(MemoryError_):
+    """An access fell outside the bounds of a memory region."""
+
+    def __init__(self, region: str, offset: int, length: int, size: int):
+        super().__init__(
+            f"access [{offset}, {offset + length}) out of bounds for "
+            f"region {region!r} of size {size}"
+        )
+        self.region = region
+        self.offset = offset
+        self.length = length
+        self.size = size
+
+
+class AllocationError(MemoryError_):
+    """The allocator could not satisfy a request."""
+
+
+class ProtectionError(MemoryError_):
+    """A write hit a protected (Rio) region outside a sanctioned window."""
+
+
+class CrashedError(ReproError):
+    """An operation was attempted on a crashed node or device."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-engine misuse and failures."""
+
+
+class NoTransactionError(TransactionError):
+    """An operation that requires an open transaction found none."""
+
+
+class TransactionAlreadyActiveError(TransactionError):
+    """``begin_transaction`` was called while a transaction was open."""
+
+
+class RangeNotDeclaredError(TransactionError):
+    """A write touched bytes not covered by any ``set_range`` call."""
+
+    def __init__(self, offset: int, length: int):
+        super().__init__(
+            f"write [{offset}, {offset + length}) not covered by set_range"
+        )
+        self.offset = offset
+        self.length = length
+
+
+class ReplicationError(ReproError):
+    """Base class for replication-layer errors."""
+
+
+class RedoLogFullError(ReplicationError):
+    """The redo-log circular buffer is full and the producer must wait."""
+
+
+class NotMappedError(ReplicationError):
+    """A write-through operation targeted an unmapped region."""
+
+
+class FailoverError(ReplicationError):
+    """Failover could not complete (e.g. backup also crashed)."""
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event-simulation errors."""
+
+
+class ClockError(SimulationError):
+    """The virtual clock was asked to move backwards."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or model was configured inconsistently."""

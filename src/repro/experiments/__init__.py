@@ -1,0 +1,12 @@
+"""Experiment reproductions: one module per table/figure of the paper.
+
+Every experiment drives the *real* implementation (engines,
+replication, workloads) to measure operation counts and packet traces,
+then applies the calibrated performance model to produce the paper's
+rows. Use :mod:`repro.experiments.runner` (or the installed
+``repro-experiments`` script) to run everything.
+"""
+
+from repro.experiments.common import ExperimentContext, ExperimentSettings
+
+__all__ = ["ExperimentContext", "ExperimentSettings"]

@@ -1,0 +1,152 @@
+"""Extension: are the paper's conclusions robust to the calibration?
+
+The reproduction's hardware constants (overlap factor, cache-miss
+penalty, per-packet overhead) carry uncertainty. This experiment
+re-evaluates the measured runs under a grid of perturbed calibrations
+— re-anchoring the base costs each time, exactly as the real pipeline
+does — and checks which of the paper's qualitative conclusions hold at
+every grid point:
+
+1. passive ordering V0 < V1 < V2 < V3 (both benchmarks);
+2. the active backup beats the best passive scheme (both benchmarks);
+3. the straightforward V0 primary-backup collapses by >= 2x;
+4. at 4 CPUs the active scheme beats passive V3 by >= 1.5x.
+
+A conclusion that only holds for one lucky constant would be a
+reproduction artifact; these hold across the grid.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+from repro.experiments.common import ExperimentContext, PAPER_DB_BYTES
+from repro.perf.calibration import DEFAULT_CALIBRATION
+from repro.perf.report import ReportTable
+from repro.perf.throughput import ThroughputEstimator, calibrate_bases
+
+WORKLOADS = ("debit-credit", "order-entry")
+
+OVERLAPS = (0.15, 0.30, 0.50)
+MISS_PENALTIES = (0.07, 0.13, 0.22)  # us
+PACKET_OVERHEADS = (0.20, 0.272, 0.35)  # us
+
+CONCLUSIONS = (
+    "passive ordering v0<v1<v2<v3",
+    "active beats best passive",
+    "straightforward collapse >= 2x",
+    "active >= 1.5x passive-v3 at 4 CPUs",
+)
+
+
+@dataclass
+class SensitivityResult:
+    grid_points: int
+    held: Dict[str, int]
+    failures: List[tuple]
+
+    def table(self) -> ReportTable:
+        table = ReportTable(
+            "Extension: conclusion robustness across the calibration grid",
+            ["conclusion", "held", "grid"],
+        )
+        for conclusion in CONCLUSIONS:
+            table.add_row(
+                conclusion, self.held[conclusion], self.grid_points
+            )
+        table.add_note(
+            f"grid: overlap {OVERLAPS} x miss penalty {MISS_PENALTIES} "
+            f"x packet overhead {PACKET_OVERHEADS} us"
+        )
+        return table
+
+    def check(self, minimum_fraction: float = 0.95) -> None:
+        for conclusion in CONCLUSIONS:
+            fraction = self.held[conclusion] / self.grid_points
+            assert fraction >= minimum_fraction, (
+                conclusion, fraction, self.failures[:5],
+            )
+
+
+def run(ctx: ExperimentContext) -> SensitivityResult:
+    # Measured runs are calibration-independent: gather them once.
+    runs = {}
+    for workload in WORKLOADS:
+        runs[workload] = {
+            "v3-standalone": ctx.standalone_result("v3", workload, PAPER_DB_BYTES),
+            "v0-standalone": ctx.standalone_result("v0", workload, PAPER_DB_BYTES),
+            "passive": {
+                version: ctx.passive_result(version, workload, PAPER_DB_BYTES)
+                for version in ("v0", "v1", "v2", "v3")
+            },
+            "active": ctx.active_result(workload, PAPER_DB_BYTES),
+        }
+
+    held = {conclusion: 0 for conclusion in CONCLUSIONS}
+    failures: List[tuple] = []
+    grid = list(itertools.product(OVERLAPS, MISS_PENALTIES, PACKET_OVERHEADS))
+
+    for overlap, miss_penalty, packet_overhead in grid:
+        base = DEFAULT_CALIBRATION
+        calibration = replace(
+            base,
+            overlap=overlap,
+            machine=replace(
+                base.machine,
+                board_cache=replace(
+                    base.machine.board_cache, miss_penalty_us=miss_penalty
+                ),
+            ),
+            san=replace(base.san, per_packet_overhead_us=packet_overhead),
+        )
+        calibration = calibrate_bases(
+            calibration,
+            {workload: runs[workload]["v3-standalone"] for workload in WORKLOADS},
+        )
+        estimator = ThroughputEstimator(calibration)
+
+        point = (overlap, miss_penalty, packet_overhead)
+        verdicts = _evaluate(estimator, runs)
+        for conclusion, ok in verdicts.items():
+            if ok:
+                held[conclusion] += 1
+            else:
+                failures.append((conclusion, point))
+
+    return SensitivityResult(
+        grid_points=len(grid), held=held, failures=failures
+    )
+
+
+def _evaluate(estimator: ThroughputEstimator, runs) -> Dict[str, bool]:
+    ordering_ok = True
+    active_ok = True
+    collapse_ok = True
+    smp_ok = True
+    for workload in WORKLOADS:
+        passive = {
+            version: estimator.passive(result).tps
+            for version, result in runs[workload]["passive"].items()
+        }
+        active_report = estimator.active(runs[workload]["active"])
+        v0_standalone = estimator.standalone(runs[workload]["v0-standalone"]).tps
+
+        if not passive["v0"] < passive["v1"] < passive["v2"] < passive["v3"]:
+            ordering_ok = False
+        if not active_report.tps > passive["v3"]:
+            active_ok = False
+        if not passive["v0"] < v0_standalone / 2.0:
+            collapse_ok = False
+        passive_v3_report = estimator.passive(runs[workload]["passive"]["v3"])
+        active_4 = estimator.smp_aggregate(active_report, 4)
+        passive_4 = estimator.smp_aggregate(passive_v3_report, 4)
+        if not active_4 > 1.5 * passive_4:
+            smp_ok = False
+    return {
+        "passive ordering v0<v1<v2<v3": ordering_ok,
+        "active beats best passive": active_ok,
+        "straightforward collapse >= 2x": collapse_ok,
+        "active >= 1.5x passive-v3 at 4 CPUs": smp_ok,
+    }

@@ -1,0 +1,72 @@
+"""Table 3 — standalone throughput of the restructured versions.
+
+The restructuring done for the backup's benefit improves standalone
+performance too: Versions 1 and 2 drop the dynamic allocation and
+linked-list work, and Version 3's inline log adds memory-access
+locality on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments.common import ExperimentContext, PAPER_DB_BYTES
+from repro.perf.calibration import PAPER
+from repro.perf.report import ReportTable, ratio
+from repro.vista.factory import ENGINE_VERSIONS
+
+WORKLOADS = ("debit-credit", "order-entry")
+
+TITLES = {
+    "v0": "Version 0 (Vista)",
+    "v1": "Version 1 (Mirror by Copy)",
+    "v2": "Version 2 (Mirror by Diff)",
+    "v3": "Version 3 (Improved Log)",
+}
+
+
+@dataclass
+class Table3Result:
+    tps: Dict[str, Dict[str, float]]  # workload -> version -> tps
+
+    def table(self) -> ReportTable:
+        table = ReportTable(
+            "Table 3: Standalone throughput of the re-structured versions "
+            "(txns/sec)",
+            ["version", "Debit-Credit", "paper", "ratio",
+             "Order-Entry", "paper", "ratio"],
+        )
+        for version in ENGINE_VERSIONS:
+            dc = self.tps["debit-credit"][version]
+            oe = self.tps["order-entry"][version]
+            paper_dc = PAPER["standalone"]["debit-credit"][version]
+            paper_oe = PAPER["standalone"]["order-entry"][version]
+            table.add_row(
+                TITLES[version], dc, paper_dc, ratio(dc, paper_dc),
+                oe, paper_oe, ratio(oe, paper_oe),
+            )
+        table.add_note(
+            "V3 is calibration's anchor row; V0-V2 are predictions from "
+            "measured operation counts"
+        )
+        return table
+
+    def check(self) -> None:
+        """The paper's standalone ordering: V3 > V1 > V2 > V0."""
+        for workload in WORKLOADS:
+            tps = self.tps[workload]
+            assert tps["v3"] > tps["v1"] > tps["v2"] > tps["v0"], (
+                f"{workload}: standalone ordering violated: {tps}"
+            )
+
+
+def run(ctx: ExperimentContext) -> Table3Result:
+    estimator = ctx.estimator()
+    tps: Dict[str, Dict[str, float]] = {}
+    for workload in WORKLOADS:
+        tps[workload] = {}
+        for version in ENGINE_VERSIONS:
+            result = ctx.standalone_result(version, workload, PAPER_DB_BYTES)
+            tps[workload][version] = estimator.standalone(result).tps
+    return Table3Result(tps=tps)

@@ -1,0 +1,150 @@
+"""Tables 6 and 7 — the best passive scheme versus the active backup.
+
+The active backup ships only a redo log of committed changes (no undo
+data, no mirror) through the circular buffer; the backup CPU applies
+it. It wins moderately on throughput (14% / 29% in the paper) and
+dramatically on bytes shipped (2x / 4x less).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments.common import (
+    ExperimentContext,
+    PAPER_DB_BYTES,
+    scale_to_paper_mb,
+)
+from repro.perf.calibration import PAPER
+from repro.perf.report import ReportTable, ratio
+
+from repro.experiments.table3 import WORKLOADS
+
+#: Paper Table 7, MB over the paper-length run.
+PAPER_TABLE7 = {
+    "debit-credit": {
+        "passive-v3": {"modified": 140.8, "undo": 323.2, "meta": 141.4, "total": 605.4},
+        "active": {"modified": 140.8, "undo": 0.0, "meta": 141.4, "total": 282.2},
+    },
+    "order-entry": {
+        "passive-v3": {"modified": 38.9, "undo": 199.8, "meta": 14.5, "total": 253.2},
+        "active": {"modified": 38.9, "undo": 0.0, "meta": 24.7, "total": 63.6},
+    },
+}
+
+
+@dataclass
+class Table67Result:
+    tps: Dict[str, Dict[str, float]]  # workload -> {passive-v3, active}
+    traffic_mb: Dict[str, Dict[str, Dict[str, float]]]
+
+    def table6(self) -> ReportTable:
+        table = ReportTable(
+            "Table 6: Passive vs Active backup throughput (txns/sec)",
+            ["configuration", "Debit-Credit", "paper", "ratio",
+             "Order-Entry", "paper", "ratio"],
+        )
+        paper_passive = PAPER["passive"]
+        paper_active = PAPER["active"]
+        table.add_row(
+            "Best Passive (Version 3)",
+            self.tps["debit-credit"]["passive-v3"],
+            paper_passive["debit-credit"]["v3"],
+            ratio(self.tps["debit-credit"]["passive-v3"],
+                  paper_passive["debit-credit"]["v3"]),
+            self.tps["order-entry"]["passive-v3"],
+            paper_passive["order-entry"]["v3"],
+            ratio(self.tps["order-entry"]["passive-v3"],
+                  paper_passive["order-entry"]["v3"]),
+        )
+        table.add_row(
+            "Active",
+            self.tps["debit-credit"]["active"],
+            paper_active["debit-credit"]["active"],
+            ratio(self.tps["debit-credit"]["active"],
+                  paper_active["debit-credit"]["active"]),
+            self.tps["order-entry"]["active"],
+            paper_active["order-entry"]["active"],
+            ratio(self.tps["order-entry"]["active"],
+                  paper_active["order-entry"]["active"]),
+        )
+        for workload in WORKLOADS:
+            gain = (
+                self.tps[workload]["active"] / self.tps[workload]["passive-v3"]
+                - 1.0
+            ) * 100
+            paper_gain = (
+                PAPER["active"][workload]["active"]
+                / PAPER["passive"][workload]["v3"]
+                - 1.0
+            ) * 100
+            table.add_note(
+                f"{workload}: active gains {gain:.0f}% "
+                f"(paper: {paper_gain:.0f}%)"
+            )
+        return table
+
+    def table7(self) -> ReportTable:
+        table = ReportTable(
+            "Table 7: Data transferred, active vs best passive "
+            "(MB, paper-length run)",
+            ["benchmark/config", "modified", "paper", "undo", "paper",
+             "meta", "paper", "total", "paper"],
+        )
+        for workload in WORKLOADS:
+            for config in ("passive-v3", "active"):
+                measured = self.traffic_mb[workload][config]
+                paper = PAPER_TABLE7[workload][config]
+                table.add_row(
+                    f"{workload} {config}",
+                    measured.get("modified", 0.0), paper["modified"],
+                    measured.get("undo", 0.0), paper["undo"],
+                    measured.get("meta", 0.0), paper["meta"],
+                    sum(measured.values()), paper["total"],
+                )
+        table.add_note(
+            "the active scheme ships no undo data at all; its meta-data "
+            "describes scattered modified bytes, so Order-Entry needs "
+            "more redo records than set_range records"
+        )
+        return table
+
+    def check(self) -> None:
+        for workload in WORKLOADS:
+            active = self.tps[workload]["active"]
+            passive = self.tps[workload]["passive-v3"]
+            assert active > passive, (workload, active, passive)
+            assert active < passive * 1.6, (
+                "the active gain should be moderate, not dramatic",
+                workload, active, passive,
+            )
+            active_total = sum(self.traffic_mb[workload]["active"].values())
+            passive_total = sum(self.traffic_mb[workload]["passive-v3"].values())
+            assert active_total < passive_total / 1.8, (
+                workload, active_total, passive_total,
+            )
+            assert self.traffic_mb[workload]["active"].get("undo", 0.0) == 0.0
+
+
+def run(ctx: ExperimentContext) -> Table67Result:
+    estimator = ctx.estimator()
+    tps: Dict[str, Dict[str, float]] = {}
+    traffic: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for workload in WORKLOADS:
+        passive = ctx.passive_result("v3", workload, PAPER_DB_BYTES)
+        active = ctx.active_result(workload, PAPER_DB_BYTES)
+        tps[workload] = {
+            "passive-v3": estimator.passive(passive).tps,
+            "active": estimator.active(active).tps,
+        }
+        traffic[workload] = {}
+        for config, result in (("passive-v3", passive), ("active", active)):
+            per_txn = result.traffic_per_txn()
+            traffic[workload][config] = {
+                category: scale_to_paper_mb(count, workload)
+                for category, count in per_txn.items()
+                if category != "total"
+            }
+        traffic[workload]["active"].setdefault("undo", 0.0)
+    return Table67Result(tps=tps, traffic_mb=traffic)

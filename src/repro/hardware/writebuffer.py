@@ -1,0 +1,163 @@
+"""The Alpha write-buffer coalescing model.
+
+The 21164A has six 32-byte write buffers. Contiguous stores to the
+same 32-byte-aligned block share a buffer and are flushed to the
+system bus together; the Memory Channel interface converts each PCI
+write into a similar-size packet and never aggregates across PCI
+writes, so the largest possible packet is 32 bytes (Section 2.3).
+
+This module models that mechanism: a stream of (address, length)
+stores into I/O space is folded into at most six open buffers; a
+buffer drains as one packet when
+
+* it becomes completely full (all 32 bytes written),
+* it is displaced by a store to a seventh distinct block (FIFO), or
+* an explicit barrier flushes everything (commit-ordering points).
+
+The packet size is the number of distinct bytes written into the
+buffer, which is what determines effective Memory Channel bandwidth
+(Figure 1). This is the mechanism that makes the contiguous log
+writes of Version 3 cheap (32-byte packets at 80 MB/s) and the
+scattered 4-byte database writes expensive (~14 MB/s).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
+
+BLOCK_BYTES_DEFAULT = 32
+
+
+@dataclass
+class _OpenBuffer:
+    """One in-flight write buffer covering a 32-byte-aligned block."""
+
+    block: int
+    written: int = 0  # bitmask over bytes in the block
+
+    def add(self, lo: int, hi: int) -> None:
+        """Mark bytes [lo, hi) within the block as written."""
+        span = (1 << (hi - lo)) - 1
+        self.written |= span << lo
+
+    def byte_count(self) -> int:
+        return bin(self.written).count("1")
+
+
+class WriteBufferModel:
+    """Folds a store stream into Memory Channel packets.
+
+    Args:
+        num_buffers: number of concurrent write buffers (6 on the EV5.6).
+        block_bytes: buffer width (32 bytes).
+        on_packet: optional callback invoked with each emitted packet
+            size in bytes; used by the SAN layer to account link time.
+    """
+
+    def __init__(
+        self,
+        num_buffers: int = 6,
+        block_bytes: int = BLOCK_BYTES_DEFAULT,
+        on_packet: Optional[Callable[[int], None]] = None,
+    ):
+        if num_buffers < 1:
+            raise ValueError("need at least one write buffer")
+        if block_bytes < 1 or block_bytes & (block_bytes - 1):
+            raise ValueError("block size must be a positive power of two")
+        self.num_buffers = num_buffers
+        self.block_bytes = block_bytes
+        self.on_packet = on_packet
+        self._open: "OrderedDict[int, _OpenBuffer]" = OrderedDict()
+        self.packets_emitted = 0
+        self.bytes_emitted = 0
+        self._histogram: dict = {}
+
+    # -- store stream ---------------------------------------------------
+
+    def write(self, address: int, length: int) -> None:
+        """Record a store of ``length`` bytes at ``address``."""
+        if length <= 0:
+            return
+        block_bytes = self.block_bytes
+        end = address + length
+        while address < end:
+            block = address // block_bytes
+            lo = address - block * block_bytes
+            hi = min(end - block * block_bytes, block_bytes)
+            self._write_block(block, lo, hi)
+            address = (block + 1) * block_bytes
+
+    def _write_block(self, block: int, lo: int, hi: int) -> None:
+        buffer = self._open.get(block)
+        if buffer is None:
+            if len(self._open) >= self.num_buffers:
+                # FIFO displacement: drain the oldest open buffer.
+                _, oldest = next(iter(self._open.items()))
+                self._drain(oldest)
+            buffer = _OpenBuffer(block)
+            self._open[block] = buffer
+        buffer.add(lo, hi)
+        if buffer.byte_count() == self.block_bytes:
+            self._drain(buffer)
+
+    def barrier(self) -> None:
+        """Flush all open buffers (a memory barrier / commit point)."""
+        for buffer in list(self._open.values()):
+            self._drain(buffer)
+
+    def _drain(self, buffer: _OpenBuffer) -> None:
+        self._open.pop(buffer.block, None)
+        size = buffer.byte_count()
+        if size == 0:
+            return
+        self.packets_emitted += 1
+        self.bytes_emitted += size
+        self._histogram[size] = self._histogram.get(size, 0) + 1
+        if self.on_packet is not None:
+            self.on_packet(size)
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def histogram(self) -> dict:
+        """Mapping of packet size (bytes) -> count of packets emitted."""
+        return dict(self._histogram)
+
+    def mean_packet_bytes(self) -> float:
+        if not self.packets_emitted:
+            return 0.0
+        return self.bytes_emitted / self.packets_emitted
+
+    def reset(self) -> None:
+        """Drop open buffers and statistics."""
+        self._open.clear()
+        self.packets_emitted = 0
+        self.bytes_emitted = 0
+        self._histogram.clear()
+
+
+def packets_for_stores(
+    stores: Iterable[Tuple[int, int]],
+    num_buffers: int = 6,
+    block_bytes: int = BLOCK_BYTES_DEFAULT,
+    barrier_between: bool = False,
+) -> List[int]:
+    """Convenience: run a store stream through a fresh model.
+
+    Args:
+        stores: iterable of (address, length) stores.
+        barrier_between: insert a barrier after every store (models
+            fully serialized writes; used in tests).
+
+    Returns the list of emitted packet sizes in order.
+    """
+    sizes: List[int] = []
+    model = WriteBufferModel(num_buffers, block_bytes, on_packet=sizes.append)
+    for address, length in stores:
+        model.write(address, length)
+        if barrier_between:
+            model.barrier()
+    model.barrier()
+    return sizes

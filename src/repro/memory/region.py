@@ -1,0 +1,194 @@
+"""Instrumented byte-addressable memory regions.
+
+A :class:`MemoryRegion` is the unit of data the paper's system deals
+in: the database, the undo log, the mirror copy, the redo-log circular
+buffer and the allocator heap are all regions. Regions support write
+observers — callables invoked on every write — which is exactly the
+hook "write doubling" needs: the replication layer registers an
+observer that forwards each write into Memory Channel I/O space.
+
+Every write carries a :class:`WriteCategory` so the traffic tables
+(Tables 2, 5 and 7) can be measured rather than estimated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import CrashedError, OutOfBoundsError, ProtectionError
+
+
+class WriteCategory(enum.Enum):
+    """Classification of a write for traffic accounting.
+
+    Matches the paper's breakdown: *modified data* are in-place
+    database writes made by the transaction; *undo data* are copies
+    made to preserve pre-images (undo-log bodies, mirror updates);
+    *meta-data* is everything else (allocator bookkeeping, list
+    pointers, record headers, commit flags, log pointers).
+    """
+
+    MODIFIED = "modified"
+    UNDO = "undo"
+    META = "meta"
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    """One observed write to a region."""
+
+    region: "MemoryRegion"
+    offset: int
+    length: int
+    category: WriteCategory
+
+    @property
+    def address(self) -> int:
+        """Global address of the write (region base + offset)."""
+        return self.region.base + self.offset
+
+
+Observer = Callable[[WriteEvent], None]
+
+
+class MemoryRegion:
+    """A contiguous, bounds-checked byte array with write observers."""
+
+    def __init__(self, name: str, size: int, base: int = 0):
+        if size <= 0:
+            raise ValueError(f"region {name!r} must have positive size")
+        self.name = name
+        self.size = size
+        self.base = base
+        self.data = bytearray(size)
+        self._observers: List[Observer] = []
+        self._protected = False
+        self._crashed = False
+        self._window: Optional[tuple] = None
+        self.writes_observed = 0
+        self.bytes_written = 0
+
+    # -- observation ----------------------------------------------------
+
+    def add_observer(self, observer: Observer) -> None:
+        """Register a callable invoked after every write."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Observer) -> None:
+        self._observers.remove(observer)
+
+    # -- protection (Rio semantics) --------------------------------------
+
+    def protect(self) -> None:
+        """Enable Rio-style VM protection: writes outside an open
+        window raise :class:`ProtectionError`."""
+        self._protected = True
+
+    def unprotect(self) -> None:
+        self._protected = False
+
+    def open_window(self, offset: int, length: int) -> None:
+        """Sanction writes to ``[offset, offset+length)`` while protected."""
+        self._check_bounds(offset, length)
+        self._window = (offset, offset + length)
+
+    def close_window(self) -> None:
+        self._window = None
+
+    # -- access ----------------------------------------------------------
+
+    def _check_bounds(self, offset: int, length: int) -> None:
+        if self._crashed:
+            raise CrashedError(
+                f"region {self.name!r} is unavailable: its node crashed "
+                f"(Rio preserves the contents until reboot)"
+            )
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise OutOfBoundsError(self.name, offset, length, self.size)
+
+    def _check_protection(self, offset: int, length: int) -> None:
+        if not self._protected:
+            return
+        if self._window is None:
+            raise ProtectionError(
+                f"write to protected region {self.name!r} with no open window"
+            )
+        lo, hi = self._window
+        if offset < lo or offset + length > hi:
+            raise ProtectionError(
+                f"write [{offset}, {offset + length}) outside open window "
+                f"[{lo}, {hi}) of protected region {self.name!r}"
+            )
+
+    def write(
+        self,
+        offset: int,
+        data: bytes,
+        category: WriteCategory = WriteCategory.MODIFIED,
+    ) -> None:
+        """Write ``data`` at ``offset`` and notify observers."""
+        length = len(data)
+        if length == 0:
+            return
+        self._check_bounds(offset, length)
+        self._check_protection(offset, length)
+        self.data[offset : offset + length] = data
+        self.writes_observed += 1
+        self.bytes_written += length
+        if self._observers:
+            event = WriteEvent(self, offset, length, category)
+            for observer in self._observers:
+                observer(event)
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Return ``length`` bytes starting at ``offset``."""
+        self._check_bounds(offset, length)
+        return bytes(self.data[offset : offset + length])
+
+    def copy_within(
+        self,
+        src_offset: int,
+        dst_offset: int,
+        length: int,
+        category: WriteCategory = WriteCategory.UNDO,
+    ) -> None:
+        """bcopy inside the region (observers see the destination write)."""
+        self.write(dst_offset, self.read(src_offset, length), category)
+
+    def poke(self, offset: int, data: bytes) -> None:
+        """Setup-phase write: stores ``data`` without notifying
+        observers or counting statistics. Used to load initial database
+        images, which the paper's traffic tables do not count (the
+        initial image reaches the backup at mapping time, not through
+        the transaction stream)."""
+        self._check_bounds(offset, len(data))
+        self.data[offset : offset + len(data)] = data
+
+    def fill(self, value: int = 0) -> None:
+        """Set every byte to ``value`` without notifying observers.
+
+        Used for initialization, which the paper does not count as
+        replication traffic.
+        """
+        self.data[:] = bytes([value]) * self.size
+
+    def snapshot(self) -> bytes:
+        """An immutable copy of the entire region's contents."""
+        return bytes(self.data)
+
+    def load_snapshot(self, snapshot: bytes) -> None:
+        """Restore contents captured by :meth:`snapshot` (no observers)."""
+        if len(snapshot) != self.size:
+            raise ValueError(
+                f"snapshot of {len(snapshot)} bytes does not match region "
+                f"{self.name!r} of size {self.size}"
+            )
+        self.data[:] = snapshot
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"MemoryRegion({self.name!r}, size={self.size}, base={self.base:#x})"

@@ -1,0 +1,30 @@
+"""The performance model.
+
+The paper's numbers come from real Alpha/Memory Channel hardware; this
+package reproduces them by converting *measured operation counts* from
+the functional implementation into simulated hardware time:
+
+* :mod:`repro.perf.calibration` — the hardware cost constants and how
+  they were derived from the paper's own microbenchmarks.
+* :mod:`repro.perf.costmodel` — operation counts -> CPU time, cache
+  stall time, and SAN link time per transaction.
+* :mod:`repro.perf.throughput` — transaction time and throughput for
+  standalone, passive-backup, active-backup and SMP-primary
+  configurations.
+* :mod:`repro.perf.report` — table/figure formatting with
+  paper-versus-measured columns.
+"""
+
+from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION, PAPER
+from repro.perf.costmodel import CostBreakdown, CostModel
+from repro.perf.throughput import ThroughputEstimator, ThroughputReport
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "PAPER",
+    "CostModel",
+    "CostBreakdown",
+    "ThroughputEstimator",
+    "ThroughputReport",
+]

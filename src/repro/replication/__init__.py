@@ -1,0 +1,44 @@
+"""Primary-backup replication over the Memory Channel.
+
+Two architectures, mirroring Sections 5 and 6 of the paper:
+
+* **Passive backup** (:mod:`repro.replication.passive`) — the backup
+  CPU is idle. Every update to the primary's replicated data
+  structures is write-doubled through an I/O-space mapping into the
+  backup's memory. Which structures are replicated depends on the
+  engine version (the mirror versions keep their set_range array
+  primary-local, Section 5.1).
+* **Active backup** (:mod:`repro.replication.active`) — the primary
+  ships a redo log through a circular buffer
+  (:mod:`repro.replication.redo_log`); the backup CPU polls the
+  producer pointer and applies committed changes to its own copy of
+  the database, acknowledging through a consumer pointer written back
+  over the SAN.
+
+Both implement a **1-safe** commit by default (commit returns once the
+primary's commit completes); 2-safe is available as an extension
+(:mod:`repro.replication.commit_safety`).
+"""
+
+from repro.replication.writethrough import ReplicaBinding, WriteThroughReplica
+from repro.replication.passive import PassiveReplicatedSystem
+from repro.replication.redo_log import (
+    RedoLogApplier,
+    RedoLogProducer,
+    RedoRecord,
+    RedoTransaction,
+)
+from repro.replication.active import ActiveReplicatedSystem
+from repro.replication.commit_safety import CommitSafety
+
+__all__ = [
+    "ReplicaBinding",
+    "WriteThroughReplica",
+    "PassiveReplicatedSystem",
+    "RedoRecord",
+    "RedoTransaction",
+    "RedoLogProducer",
+    "RedoLogApplier",
+    "ActiveReplicatedSystem",
+    "CommitSafety",
+]

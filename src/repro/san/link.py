@@ -1,0 +1,49 @@
+"""Shared-link contention accounting.
+
+The SMP-primary experiments (Section 8, Figures 2 and 3) run one
+transaction stream per CPU, all funnelling their write-through traffic
+onto the *same* Memory Channel link. The link is a serial resource:
+aggregate throughput is capped by how many packets per second it can
+carry, and the cap depends on the packet-size mix each protocol
+produces. :class:`SharedLink` turns per-stream packet traces into that
+cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.hardware.specs import SanSpec
+from repro.san.packets import PacketTrace
+
+
+@dataclass
+class SharedLink:
+    """A single link carrying traffic from several senders."""
+
+    san: SanSpec
+    traces: List[PacketTrace] = field(default_factory=list)
+
+    def attach(self, trace: PacketTrace) -> None:
+        """Add one sender's packet trace to the link."""
+        self.traces.append(trace)
+
+    def total_link_time_us(self) -> float:
+        """Serial time to drain every attached trace."""
+        return sum(trace.link_time_us(self.san) for trace in self.traces)
+
+    def utilization(self, elapsed_us: float) -> float:
+        """Fraction of ``elapsed_us`` the link spent busy (can exceed
+        1.0 when the offered load is infeasible, i.e. the link is the
+        bottleneck)."""
+        if elapsed_us <= 0:
+            raise ValueError("elapsed time must be positive")
+        return self.total_link_time_us() / elapsed_us
+
+    def max_rate_per_second(self, link_time_per_unit_us: float) -> float:
+        """How many 'units' (transactions) per second the link can carry
+        if each unit occupies the link for ``link_time_per_unit_us``."""
+        if link_time_per_unit_us <= 0:
+            return float("inf")
+        return 1e6 / link_time_per_unit_us

@@ -1,0 +1,288 @@
+"""The Memory Channel interface model.
+
+A :class:`MemoryChannelInterface` belongs to one node. A
+:class:`TransmitMapping` connects a window of the node's I/O space to a
+:class:`~repro.memory.region.MemoryRegion` on a remote node: stores to
+the window are folded into Memory Channel packets by the sender's
+write buffers (:class:`~repro.hardware.writebuffer.WriteBufferModel`)
+and deposited into the remote region by DMA — the remote CPU is never
+involved, which is what makes a *passive* backup possible.
+
+Only remote writes are supported; remote reads are not (Section 2.3).
+The asymmetry forces "write doubling": the sender keeps an ordinary
+local copy for reads and performs every store twice, once to the local
+copy and once to I/O space. Loopback mode — where the interface also
+applies I/O-space stores to the local copy — is modelled too, including
+the delivery delay that makes it impractical (a processor may not see
+its own last write), which is why all the paper's systems double-write
+instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import CrashedError, NotMappedError
+from repro.hardware.specs import SanSpec, MEMORY_CHANNEL_II
+from repro.hardware.writebuffer import WriteBufferModel
+from repro.memory.region import MemoryRegion, WriteCategory
+from repro.san.packets import PacketTrace
+
+
+class TransmitMapping:
+    """One sender-side I/O-space window mapped onto a remote region.
+
+    The window occupies ``[io_base, io_base + size)`` in the sender's
+    I/O space and is backed by ``remote`` (same size) on the receiver.
+    """
+
+    def __init__(
+        self,
+        interface: "MemoryChannelInterface",
+        io_base: int,
+        remote: MemoryRegion,
+        name: str = "",
+    ):
+        self.interface = interface
+        self.io_base = io_base
+        self.remote = remote
+        self.size = remote.size
+        self.name = name or remote.name
+        self.bytes_sent = 0
+        self.bytes_by_category: Dict[WriteCategory, int] = {}
+
+    def write(
+        self,
+        offset: int,
+        data: bytes,
+        category: WriteCategory = WriteCategory.MODIFIED,
+    ) -> None:
+        """Store ``data`` at ``offset`` within the window.
+
+        The store is pushed through the sender's write buffers (packet
+        accounting) and delivered into the remote region.
+        """
+        self.interface._transmit(self, offset, data, category)
+
+    def write_uncoalesced(
+        self,
+        offset: int,
+        data: bytes,
+        category: WriteCategory = WriteCategory.MODIFIED,
+        word_bytes: int = 4,
+    ) -> None:
+        """Store ``data`` as isolated word-size packets.
+
+        Models a doubled-write stream whose source stalls between
+        stores (e.g. copying through cache-missing mirror lines): the
+        write buffer drains during each stall, so every word leaves as
+        its own Memory Channel packet — the "no aggregation" behaviour
+        the paper reports for the mirroring protocols (Section 8).
+        """
+        self.interface._transmit_uncoalesced(self, offset, data, category, word_bytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"TransmitMapping({self.name!r}, io_base={self.io_base:#x}, "
+            f"size={self.size})"
+        )
+
+
+class LoopbackBuffer:
+    """Models loopback mode's delayed local delivery.
+
+    Writes queue here before being applied to the local copy; until
+    :meth:`deliver` runs, local reads see stale data — the
+    read-your-writes hazard that makes loopback impractical
+    (Section 2.3).
+    """
+
+    def __init__(self, local: MemoryRegion):
+        self.local = local
+        self._pending: List[Tuple[int, bytes]] = []
+
+    def enqueue(self, offset: int, data: bytes) -> None:
+        self._pending.append((offset, data))
+
+    @property
+    def pending_writes(self) -> int:
+        return len(self._pending)
+
+    def deliver(self, count: Optional[int] = None) -> int:
+        """Apply up to ``count`` queued writes (all when None)."""
+        if count is None:
+            count = len(self._pending)
+        delivered = 0
+        while self._pending and delivered < count:
+            offset, data = self._pending.pop(0)
+            self.local.write(offset, data, WriteCategory.META)
+            delivered += 1
+        return delivered
+
+
+class MemoryChannelInterface:
+    """The per-node Memory Channel adapter.
+
+    Args:
+        node_name: owner label, for diagnostics.
+        san: link parameters (defaults to Memory Channel II).
+        write_buffers / write_buffer_bytes: the sending CPU's buffer
+            geometry (6 x 32 bytes on the 21164A).
+    """
+
+    def __init__(
+        self,
+        node_name: str = "node",
+        san: SanSpec = MEMORY_CHANNEL_II,
+        write_buffers: int = 6,
+        write_buffer_bytes: int = 32,
+    ):
+        self.node_name = node_name
+        self.san = san
+        self.trace = PacketTrace()
+        self.write_buffer = WriteBufferModel(
+            num_buffers=write_buffers,
+            block_bytes=write_buffer_bytes,
+            on_packet=self.trace.record,
+        )
+        self._mappings: List[TransmitMapping] = []
+        self._next_io_base = 0x8000_0000
+        self._crashed = False
+        self.io_stores = 0  # number of I/O-space store instructions issued
+        self.bytes_by_category: Dict[WriteCategory, int] = {}
+
+    # -- mapping management ------------------------------------------------
+
+    def map_remote(self, remote: MemoryRegion, name: str = "") -> TransmitMapping:
+        """Create a transmit window onto ``remote``.
+
+        The kernel and remote CPU are involved only here, at mapping
+        time — never per-write.
+        """
+        self._check_alive()
+        mapping = TransmitMapping(self, self._next_io_base, remote, name)
+        self._next_io_base += _align_up(remote.size, 8192)
+        self._mappings.append(mapping)
+        return mapping
+
+    @property
+    def mappings(self) -> List[TransmitMapping]:
+        return list(self._mappings)
+
+    # -- transmission --------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self._crashed:
+            raise CrashedError(f"Memory Channel interface of {self.node_name} is down")
+
+    def _transmit(
+        self,
+        mapping: TransmitMapping,
+        offset: int,
+        data: bytes,
+        category: WriteCategory,
+    ) -> None:
+        self._check_alive()
+        if mapping not in self._mappings:
+            raise NotMappedError(f"mapping {mapping.name!r} is not installed")
+        length = len(data)
+        if length == 0:
+            return
+        if offset < 0 or offset + length > mapping.size:
+            raise NotMappedError(
+                f"I/O-space write [{offset}, {offset + length}) outside "
+                f"window {mapping.name!r} of size {mapping.size}"
+            )
+        # Packet formation: the store stream enters the CPU write
+        # buffers at its I/O-space address; coalescing across *distinct
+        # mappings* is still per 32-byte block, which the disjoint
+        # io_base values prevent from ever merging.
+        self.io_stores += 1
+        self.write_buffer.write(mapping.io_base + offset, length)
+        # DMA into the remote physical memory (remote CPU uninvolved).
+        mapping.remote.write(offset, data, category)
+        mapping.bytes_sent += length
+        mapping.bytes_by_category[category] = (
+            mapping.bytes_by_category.get(category, 0) + length
+        )
+        self.bytes_by_category[category] = (
+            self.bytes_by_category.get(category, 0) + length
+        )
+
+    def _transmit_uncoalesced(
+        self,
+        mapping: TransmitMapping,
+        offset: int,
+        data: bytes,
+        category: WriteCategory,
+        word_bytes: int,
+    ) -> None:
+        """Transmit word-by-word, flushing between stores so no
+        coalescing happens (see TransmitMapping.write_uncoalesced)."""
+        for cursor in range(0, len(data), word_bytes):
+            chunk = data[cursor : cursor + word_bytes]
+            self._transmit(mapping, offset + cursor, chunk, category)
+            self.write_buffer.barrier()
+
+    def barrier(self) -> None:
+        """Drain the write buffers (commit-ordering point)."""
+        self.write_buffer.barrier()
+
+    # -- failure ---------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Take the interface down with its node."""
+        self._crashed = True
+
+    def reboot(self) -> None:
+        self._crashed = False
+        self.write_buffer.reset()
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(self.bytes_by_category.values())
+
+    def link_time_us(self) -> float:
+        """Link occupancy consumed by everything sent so far."""
+        return self.trace.link_time_us(self.san)
+
+    def reset_stats(self) -> None:
+        self.trace.clear()
+        self.write_buffer.reset()
+        self.io_stores = 0
+        self.bytes_by_category.clear()
+        for mapping in self._mappings:
+            mapping.bytes_sent = 0
+            mapping.bytes_by_category.clear()
+
+
+@dataclass
+class DoubledWrite:
+    """Helper performing the canonical "write doubling" pattern: every
+    store goes to the ordinary local copy *and* to the I/O-space window
+    so the remote copy tracks it.
+    """
+
+    local: MemoryRegion
+    mapping: TransmitMapping
+
+    def write(
+        self,
+        offset: int,
+        data: bytes,
+        category: WriteCategory = WriteCategory.MODIFIED,
+    ) -> None:
+        self.local.write(offset, data, category)
+        self.mapping.write(offset, data, category)
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Reads always come from the local copy (remote reads are not
+        supported by the hardware)."""
+        return self.local.read(offset, length)
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)

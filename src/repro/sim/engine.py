@@ -1,0 +1,109 @@
+"""The discrete-event simulator.
+
+A :class:`Simulator` owns the virtual clock and the event queue and
+runs events in timestamp order. Generator-based processes
+(:mod:`repro.sim.process`) are layered on top of this engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule_at(5.0, lambda: fired.append(sim.now))
+        >>> sim.run()
+        5.0
+        >>> fired
+        [5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self.clock = VirtualClock(start_time)
+        self.queue = EventQueue()
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    def schedule_at(
+        self, when: float, action: Callable[[], Any], name: str = ""
+    ) -> Event:
+        """Schedule ``action`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {when} before current time {self.now}"
+            )
+        return self.queue.push(when, action, name)
+
+    def schedule_after(
+        self, delay: float, action: Callable[[], Any], name: str = ""
+    ) -> Event:
+        """Schedule ``action`` ``delay`` microseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay}")
+        return self.queue.push(self.now + delay, action, name)
+
+    def step(self) -> bool:
+        """Run the next event. Returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        self._events_processed += 1
+        event.action()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.
+
+        Returns the simulated time when the run stopped. When stopping
+        because of ``until``, the clock is advanced to exactly ``until``
+        and pending later events remain queued.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.clock.advance_to(until)
+                    break
+                if not self.step():
+                    break
+                executed += 1
+            if until is not None and self.now < until:
+                self.clock.advance_to(until)
+        finally:
+            self._running = False
+        return self.now
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now:.3f}us, pending={len(self.queue)}, "
+            f"processed={self._events_processed})"
+        )

@@ -1,0 +1,32 @@
+"""The paper's benchmarks as workload generators.
+
+Debit-Credit and Order-Entry are the variants of TPC-B and TPC-C that
+ship with Vista (Section 2.4): Debit-Credit keeps its audit trail in a
+2 MB in-memory circular buffer; Order-Entry uses the three TPC-C
+transaction types that update the database (New-Order, Payment,
+Delivery). Transactions are issued sequentially, as fast as possible,
+with no terminal I/O.
+"""
+
+from repro.workloads.base import TransactionTarget, Workload
+from repro.workloads.layout import DatabaseLayout, Table
+from repro.workloads.debit_credit import DebitCreditWorkload
+from repro.workloads.order_entry import OrderEntryWorkload
+from repro.workloads.driver import RunResult, run_workload
+
+WORKLOADS = {
+    "debit-credit": DebitCreditWorkload,
+    "order-entry": OrderEntryWorkload,
+}
+
+__all__ = [
+    "TransactionTarget",
+    "Workload",
+    "DatabaseLayout",
+    "Table",
+    "DebitCreditWorkload",
+    "OrderEntryWorkload",
+    "RunResult",
+    "run_workload",
+    "WORKLOADS",
+]

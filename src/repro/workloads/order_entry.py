@@ -1,0 +1,274 @@
+"""Order-Entry: the Vista variant of TPC-C (Section 2.4).
+
+TPC-C models a wholesale supplier receiving orders, payments and
+deliveries over warehouses, districts, customers, orders, order lines,
+stock and items. Order-Entry uses the three TPC-C transaction types
+that *update* the database:
+
+* **New-Order** — allocate an order id from the district, insert an
+  order and a new-order entry, and insert one order line plus a stock
+  update per item (5-8 items here). Declared ranges are whole records
+  while only a few fields are written, so undo data is several times
+  the modified data — the paper's Order-Entry profile (Table 5:
+  199.8 MB undo vs 38.9 MB modified ≈ 5x).
+* **Payment** — update warehouse and district year-to-date totals,
+  the customer's balance/payment record, and append a history record.
+* **Delivery** — mark a batch of orders delivered: per order, stamp
+  the carrier and settle the customer balance.
+
+The mix follows TPC-C's weights renormalized over the three update
+types: 48.9% New-Order, 46.7% Payment, 4.4% Delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import TransactionTarget, Workload
+from repro.workloads.layout import DatabaseLayout
+
+MB = 1024 * 1024
+
+#: TPC-C mix (45 / 43 / 4) renormalized over the update transactions.
+MIX_NEW_ORDER = 0.489
+MIX_PAYMENT = 0.467
+MIX_DELIVERY = 0.044
+
+MIN_ORDER_LINES = 5
+MAX_ORDER_LINES = 8
+DELIVERY_BATCH = 10
+
+_WAREHOUSE_REC = 64
+_DISTRICT_REC = 64
+_CUSTOMER_REC = 160
+_ORDER_REC = 48
+_NEW_ORDER_REC = 8
+_ORDER_LINE_REC = 80
+_STOCK_REC = 64
+_HISTORY_SLOT = 50
+
+
+class OrderEntryWorkload(Workload):
+    """The Order-Entry benchmark over a database of ``db_bytes``."""
+
+    name = "order-entry"
+
+    def __init__(self, db_bytes: int, seed: int = 0):
+        super().__init__(db_bytes, seed)
+        if db_bytes < 4 * MB:
+            raise ConfigurationError(
+                f"Order-Entry needs at least 4 MB of database; got {db_bytes}"
+            )
+        layout = DatabaseLayout(db_bytes)
+
+        warehouses = max(1, db_bytes // (16 * MB))
+        districts = warehouses * 10
+        # Space split: customers and stock dominate; orders and order
+        # lines are circular arrays sized to hold a long history.
+        customers = max(100, int(db_bytes * 0.30) // _CUSTOMER_REC)
+        stock_items = max(100, int(db_bytes * 0.25) // _STOCK_REC)
+        orders = max(100, int(db_bytes * 0.10) // _ORDER_REC)
+        new_orders = max(100, int(db_bytes * 0.02) // _NEW_ORDER_REC)
+        order_lines = max(1000, int(db_bytes * 0.25) // _ORDER_LINE_REC)
+        history_slots = max(100, int(db_bytes * 0.04) // _HISTORY_SLOT)
+
+        self.warehouse = layout.add_table(
+            "warehouse", _WAREHOUSE_REC, warehouses, {"ytd": (0, 8)}
+        )
+        self.district = layout.add_table(
+            "district",
+            _DISTRICT_REC,
+            districts,
+            {"ytd": (0, 8), "next_o_id": (8, 4)},
+        )
+        self.customer = layout.add_table(
+            "customer",
+            _CUSTOMER_REC,
+            customers,
+            {"balance": (0, 8), "ytd_payment": (8, 4), "payment_cnt": (12, 4)},
+        )
+        self.order = layout.add_table(
+            "order",
+            _ORDER_REC,
+            orders,
+            {"customer": (0, 4), "ol_cnt": (4, 4), "carrier": (8, 4), "entry": (12, 8)},
+        )
+        self.new_order = layout.add_table(
+            "new_order", _NEW_ORDER_REC, new_orders, {"order": (0, 4)}
+        )
+        self.order_line = layout.add_table(
+            "order_line",
+            _ORDER_LINE_REC,
+            order_lines,
+            {"item": (0, 4), "qty": (4, 4), "amount": (8, 4)},
+        )
+        self.stock = layout.add_table(
+            "stock",
+            _STOCK_REC,
+            stock_items,
+            {"quantity": (0, 4), "ytd": (4, 4)},
+        )
+        self.history_base, history_bytes = layout.add_area(
+            "history", history_slots * _HISTORY_SLOT
+        )
+        self.history_slots = history_slots
+        self.layout = layout
+
+        # Monotonic cursors into the circular arrays.
+        self._order_cursor = 0
+        self._order_line_cursor = 0
+        self._new_order_cursor = 0
+        self._history_cursor = 0
+        self._delivery_cursor = 0  # oldest undelivered order
+
+        # Shadow model for verification.
+        self.shadow_customer_balance: Dict[int, int] = {}
+        self.shadow_district_next_oid: Dict[int, int] = {}
+        self.shadow_stock_ytd: Dict[int, int] = {}
+
+    # -- setup ---------------------------------------------------------------
+
+    def setup(self, target: TransactionTarget) -> None:
+        target.initialize_data(0, b"\x00")
+
+    # -- transaction dispatch ----------------------------------------------------
+
+    def run_transaction(self, target: TransactionTarget) -> None:
+        choice = self.rng.random()
+        if choice < MIX_NEW_ORDER:
+            self._new_order(target)
+        elif choice < MIX_NEW_ORDER + MIX_PAYMENT:
+            self._payment(target)
+        else:
+            self._delivery(target)
+
+    # -- New-Order ------------------------------------------------------------------
+
+    def _new_order(self, target: TransactionTarget) -> None:
+        rng = self.rng
+        district_id = rng.randrange(self.district.records)
+        customer_id = rng.randrange(self.customer.records)
+        n_lines = rng.randint(MIN_ORDER_LINES, MAX_ORDER_LINES)
+
+        target.begin_transaction()
+
+        # District: allocate the order id (whole next_o_id field range).
+        target.set_range(self.district.field_offset(district_id, "next_o_id"), 4)
+        next_oid = self.district.add_to_field(target, district_id, "next_o_id", 1)
+
+        # Order record: declare a generous slice, fill the header fields.
+        order_id = self._order_cursor % self.order.records
+        self._order_cursor += 1
+        target.set_range(self.order.record_offset(order_id), 40)
+        self.order.write_field(target, order_id, "customer", customer_id)
+        self.order.write_field(target, order_id, "ol_cnt", n_lines)
+        self.order.write_field(target, order_id, "carrier", 0)
+        self.order.write_field(target, order_id, "entry", self.transactions_run)
+
+        # New-order entry.
+        new_order_id = self._new_order_cursor % self.new_order.records
+        self._new_order_cursor += 1
+        target.set_range(self.new_order.record_offset(new_order_id), 8)
+        self.new_order.write_field(target, new_order_id, "order", order_id)
+
+        # Order lines + stock updates, scattered across the database.
+        for _ in range(n_lines):
+            item = rng.randrange(self.stock.records)
+            line_id = self._order_line_cursor % self.order_line.records
+            self._order_line_cursor += 1
+            target.set_range(self.order_line.record_offset(line_id), _ORDER_LINE_REC)
+            self.order_line.write_field(target, line_id, "item", item)
+            self.order_line.write_field(target, line_id, "qty", 1 + rng.randrange(10))
+
+            target.set_range(self.stock.record_offset(item), 16)
+            self.stock.add_to_field(target, item, "quantity", -1)
+            self.stock.add_to_field(target, item, "ytd", 1)
+            self.shadow_stock_ytd[item] = self.shadow_stock_ytd.get(item, 0) + 1
+
+        target.commit_transaction()
+        self.shadow_district_next_oid[district_id] = next_oid
+        self._count("new-order")
+
+    # -- Payment ----------------------------------------------------------------------
+
+    def _payment(self, target: TransactionTarget) -> None:
+        rng = self.rng
+        warehouse_id = rng.randrange(self.warehouse.records)
+        district_id = rng.randrange(self.district.records)
+        customer_id = rng.randrange(self.customer.records)
+        amount = rng.randrange(1, 500_000)
+
+        target.begin_transaction()
+
+        target.set_range(self.warehouse.field_offset(warehouse_id, "ytd"), 12)
+        self.warehouse.add_to_field(target, warehouse_id, "ytd", amount)
+
+        target.set_range(self.district.field_offset(district_id, "ytd"), 12)
+        self.district.add_to_field(target, district_id, "ytd", amount)
+
+        # Customer: the range covers the balance/payment block.
+        target.set_range(self.customer.record_offset(customer_id), 120)
+        self.customer.add_to_field(target, customer_id, "balance", -amount)
+        self.customer.add_to_field(target, customer_id, "ytd_payment", 1)
+        self.customer.add_to_field(target, customer_id, "payment_cnt", 1)
+
+        slot = self._history_cursor % self.history_slots
+        self._history_cursor += 1
+        slot_offset = self.history_base + slot * _HISTORY_SLOT
+        target.set_range(slot_offset, _HISTORY_SLOT)
+        target.write(slot_offset, amount.to_bytes(8, "little") * 2)  # 16 bytes
+
+        target.commit_transaction()
+        self.shadow_customer_balance[customer_id] = (
+            self.shadow_customer_balance.get(customer_id, 0) - amount
+        )
+        self._count("payment")
+
+    # -- Delivery ------------------------------------------------------------------------
+
+    def _delivery(self, target: TransactionTarget) -> None:
+        rng = self.rng
+        delivered = min(
+            DELIVERY_BATCH, self._order_cursor - self._delivery_cursor
+        )
+        target.begin_transaction()
+        for _ in range(delivered):
+            order_id = self._delivery_cursor % self.order.records
+            self._delivery_cursor += 1
+
+            target.set_range(self.order.field_offset(order_id, "carrier"), 8)
+            self.order.write_field(target, order_id, "carrier", 1 + rng.randrange(10))
+
+            customer_id = self.order.read_field(target, order_id, "customer")
+            target.set_range(self.customer.field_offset(customer_id, "balance"), 12)
+            self.customer.add_to_field(target, customer_id, "balance", 100)
+            self.shadow_customer_balance[customer_id] = (
+                self.shadow_customer_balance.get(customer_id, 0) + 100
+            )
+        target.commit_transaction()
+        self._count("delivery")
+
+    # -- verification --------------------------------------------------------------------
+
+    def verify(self, target: TransactionTarget) -> None:
+        for customer_id, expected in self.shadow_customer_balance.items():
+            actual = self.customer.read_field(target, customer_id, "balance")
+            if actual != expected:
+                raise AssertionError(
+                    f"customer[{customer_id}] balance is {actual}, "
+                    f"shadow expects {expected}"
+                )
+        for district_id, expected in self.shadow_district_next_oid.items():
+            actual = self.district.read_field(target, district_id, "next_o_id")
+            if actual != expected:
+                raise AssertionError(
+                    f"district[{district_id}] next_o_id is {actual}, "
+                    f"shadow expects {expected}"
+                )
+        for item, expected in self.shadow_stock_ytd.items():
+            actual = self.stock.read_field(target, item, "ytd")
+            if actual != expected:
+                raise AssertionError(
+                    f"stock[{item}] ytd is {actual}, shadow expects {expected}"
+                )

@@ -1,0 +1,69 @@
+"""Declarative fault injection."""
+
+import pytest
+
+from repro.cluster.faults import CrashPlan, FaultInjector
+
+
+def test_plan_requires_exactly_one_trigger():
+    with pytest.raises(ValueError):
+        CrashPlan()
+    with pytest.raises(ValueError):
+        CrashPlan(after_transactions=1, at_time_us=1.0)
+    CrashPlan(after_transactions=1)
+    CrashPlan(at_time_us=5.0)
+
+
+def test_transaction_count_trigger():
+    injector = FaultInjector()
+    crashed = []
+    injector.schedule(CrashPlan(after_transactions=3), lambda: crashed.append(1))
+    assert not injector.on_transaction_committed(2)
+    assert injector.on_transaction_committed(3)
+    assert crashed == [1]
+    assert injector.pending == 0
+
+
+def test_plan_fires_only_once():
+    injector = FaultInjector()
+    crashed = []
+    injector.schedule(CrashPlan(after_transactions=1), lambda: crashed.append(1))
+    injector.on_transaction_committed(1)
+    injector.on_transaction_committed(2)
+    assert crashed == [1]
+
+
+def test_time_trigger():
+    injector = FaultInjector()
+    crashed = []
+    injector.schedule(CrashPlan(at_time_us=10.0), lambda: crashed.append(1))
+    assert not injector.on_time(9.9)
+    assert injector.on_time(10.0)
+    assert crashed == [1]
+
+
+def test_multiple_plans():
+    injector = FaultInjector()
+    order = []
+    injector.schedule(CrashPlan(after_transactions=2), lambda: order.append("a"))
+    injector.schedule(CrashPlan(after_transactions=5), lambda: order.append("b"))
+    injector.on_transaction_committed(2)
+    assert order == ["a"]
+    injector.on_transaction_committed(5)
+    assert order == ["a", "b"]
+
+
+def test_next_transaction_boundary():
+    injector = FaultInjector()
+    injector.schedule(CrashPlan(after_transactions=9), lambda: None)
+    injector.schedule(CrashPlan(after_transactions=4), lambda: None)
+    assert injector.next_transaction_boundary().after_transactions == 4
+    assert FaultInjector().next_transaction_boundary() is None
+
+
+def test_fired_history():
+    injector = FaultInjector()
+    plan = CrashPlan(after_transactions=1)
+    injector.schedule(plan, lambda: None)
+    injector.on_transaction_committed(1)
+    assert injector.fired == [plan]

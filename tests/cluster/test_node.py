@@ -1,0 +1,60 @@
+"""Node: crash takes Rio and the Memory Channel down together."""
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.errors import CrashedError
+
+
+def test_node_bundles_rio_and_interface():
+    node = Node("n1")
+    assert node.rio.node_name == "n1"
+    assert node.interface.node_name == "n1"
+    assert node.machine.write_buffers == 6
+
+
+def test_crash_takes_everything_down():
+    node = Node("n1")
+    region = node.rio.create_region("db", 64)
+    region.write(0, b"data")
+    node.crash()
+    assert node.crashed
+    with pytest.raises(CrashedError):
+        region.write(0, b"more")
+    with pytest.raises(CrashedError):
+        node.interface.map_remote(region)
+
+
+def test_reboot_restores_rio_contents():
+    node = Node("n1")
+    region = node.rio.create_region("db", 64)
+    region.write(0, b"safe")
+    node.crash()
+    node.reboot()
+    assert node.rio.get_region("db").read(0, 4) == b"safe"
+    assert not node.crashed
+
+
+def test_crash_idempotent_and_counted():
+    node = Node("n1")
+    node.crash()
+    node.crash()
+    assert node.crash_count == 1
+    node.reboot()
+    node.crash()
+    assert node.crash_count == 2
+
+
+def test_heartbeat_ignored_while_crashed():
+    node = Node("n1")
+    node.heartbeat(1.0)
+    node.crash()
+    node.heartbeat(2.0)
+    assert node.last_heartbeat_us == 1.0
+
+
+def test_repr():
+    node = Node("n1")
+    assert "up" in repr(node)
+    node.crash()
+    assert "crashed" in repr(node)

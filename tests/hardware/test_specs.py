@@ -1,0 +1,67 @@
+"""Hardware parameter records and the SAN packet-cost curve."""
+
+import pytest
+
+from repro.hardware.specs import (
+    ALPHASERVER_4100,
+    MEMORY_CHANNEL_II,
+    CacheSpec,
+    SanSpec,
+)
+
+
+def test_alpha_parameters_match_the_paper():
+    assert ALPHASERVER_4100.cpu_mhz == 600.0
+    assert ALPHASERVER_4100.num_cpus == 4
+    assert ALPHASERVER_4100.write_buffers == 6
+    assert ALPHASERVER_4100.write_buffer_bytes == 32
+    assert ALPHASERVER_4100.board_cache.size_bytes == 8 * 1024 * 1024
+    assert ALPHASERVER_4100.board_cache.line_size == 64
+
+
+def test_cycle_conversion():
+    assert ALPHASERVER_4100.cycles_to_us(600.0) == pytest.approx(1.0)
+    assert ALPHASERVER_4100.cycle_us == pytest.approx(1 / 600)
+
+
+def test_memory_channel_latency_matches_paper():
+    assert MEMORY_CHANNEL_II.latency_us == 3.3
+    assert MEMORY_CHANNEL_II.max_packet_bytes == 32
+
+
+def test_figure1_endpoints_from_fit():
+    """The fitted curve must hit the paper's measured endpoints."""
+    low = MEMORY_CHANNEL_II.effective_bandwidth_mb_per_s(4)
+    high = MEMORY_CHANNEL_II.effective_bandwidth_mb_per_s(32)
+    assert low == pytest.approx(14.0, rel=0.10)
+    assert high == pytest.approx(80.0, rel=0.06)
+
+
+def test_bandwidth_monotonic_in_packet_size():
+    values = [
+        MEMORY_CHANNEL_II.effective_bandwidth_mb_per_s(size)
+        for size in (4, 8, 16, 32)
+    ]
+    assert values == sorted(values)
+
+
+def test_packet_time_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        MEMORY_CHANNEL_II.packet_time_us(0)
+    with pytest.raises(ValueError):
+        MEMORY_CHANNEL_II.packet_time_us(64)
+
+
+def test_packet_time_components():
+    san = SanSpec("test", 1.0, 0.5, 100.0, 32)
+    assert san.packet_time_us(10) == pytest.approx(0.5 + 0.1)
+
+
+def test_cache_lines_spanned():
+    cache = CacheSpec(size_bytes=1024, line_size=64, miss_penalty_us=0.1)
+    assert cache.lines_spanned(0, 1) == 1
+    assert cache.lines_spanned(0, 64) == 1
+    assert cache.lines_spanned(0, 65) == 2
+    assert cache.lines_spanned(63, 2) == 2
+    assert cache.lines_spanned(10, 0) == 0
+    assert cache.num_lines == 16

@@ -1,0 +1,48 @@
+"""Calibration constants and the paper's reference numbers."""
+
+import pytest
+
+from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION, PAPER
+
+
+def test_default_is_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_CALIBRATION.overlap = 0.9
+
+
+def test_with_bases_returns_modified_copy():
+    updated = DEFAULT_CALIBRATION.with_bases({"debit-credit": 9.9})
+    assert updated.txn_base_us["debit-credit"] == 9.9
+    assert updated.txn_base_us["order-entry"] == (
+        DEFAULT_CALIBRATION.txn_base_us["order-entry"]
+    )
+    assert DEFAULT_CALIBRATION.txn_base_us["debit-credit"] != 9.9
+
+
+def test_overlap_is_a_fraction():
+    assert 0.0 <= DEFAULT_CALIBRATION.overlap <= 1.0
+
+
+def test_paper_reference_orderings():
+    """Sanity-check the transcribed paper numbers themselves."""
+    for workload in ("debit-credit", "order-entry"):
+        standalone = PAPER["standalone"][workload]
+        assert standalone["v3"] > standalone["v1"] > standalone["v2"] > standalone["v0"]
+        passive = PAPER["passive"][workload]
+        assert passive["v3"] > passive["v2"] > passive["v1"] > passive["v0"]
+        assert PAPER["active"][workload]["active"] > passive["v3"]
+        sizes = PAPER["dbsize"][workload]
+        assert sizes["10MB"] > sizes["100MB"] > sizes["1GB"]
+
+
+def test_paper_traffic_per_txn_consistency():
+    """Per-transaction traffic must reflect the MB tables' ratios."""
+    dc = PAPER["traffic_per_txn"]["debit-credit"]
+    assert dc["v0"]["meta"] > 10 * dc["v0"]["undo"]
+    assert dc["v2"]["undo"] == dc["v2"]["modified"]
+    assert dc["active"]["undo"] == 0.0
+
+
+def test_figure1_reference_monotonic():
+    curve = PAPER["figure1"]
+    assert curve[4] < curve[8] < curve[16] < curve[32]

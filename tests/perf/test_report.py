@@ -1,0 +1,59 @@
+"""Report formatting helpers."""
+
+import pytest
+
+from repro.perf.report import ReportTable, ascii_series, ratio
+
+
+def test_table_renders_aligned_columns():
+    table = ReportTable("Title", ["name", "value"])
+    table.add_row("short", 1)
+    table.add_row("a-much-longer-name", 123456)
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert "name" in lines[2]
+    assert "123,456" in text
+
+
+def test_table_rejects_wrong_arity():
+    table = ReportTable("T", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+def test_notes_rendered():
+    table = ReportTable("T", ["a"])
+    table.add_row(1)
+    table.add_note("something important")
+    assert "note: something important" in table.render()
+
+
+def test_float_formatting():
+    table = ReportTable("T", ["a", "b"])
+    table.add_row(0.1234, 123456.7)
+    text = table.render()
+    assert "0.12" in text
+    assert "123,457" in text
+
+
+def test_ratio():
+    assert ratio(150.0, 100.0) == "1.50x"
+    assert ratio(1.0, 0.0) == "-"
+
+
+def test_ascii_series_shape():
+    text = ascii_series(
+        "Fig", [1, 2], [("A", [100.0, 200.0]), ("B", [50.0, 50.0])]
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Fig"
+    assert any("A" == line for line in lines)
+    # The largest value gets the longest bar.
+    bars = [line.count("#") for line in lines if "#" in line]
+    assert max(bars) == bars[1]  # A's 200 point
+
+
+def test_ascii_series_empty_safe():
+    text = ascii_series("Fig", [], [])
+    assert "Fig" in text

@@ -1,0 +1,78 @@
+"""Property-based tests of the heap allocator: no overlap, full reuse,
+metadata consistency under arbitrary alloc/free interleavings."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.allocator import HeapAllocator
+from repro.memory.region import MemoryRegion
+
+HEAP_BYTES = 8192
+
+
+@st.composite
+def alloc_script(draw):
+    """A sequence of ('malloc', size) / ('free', index) operations."""
+    ops = []
+    live = 0
+    for _ in range(draw(st.integers(1, 40))):
+        if live and draw(st.booleans()):
+            ops.append(("free", draw(st.integers(0, live - 1))))
+            live -= 1
+        else:
+            ops.append(("malloc", draw(st.integers(1, 200))))
+            live += 1
+    return ops
+
+
+@given(script=alloc_script())
+@settings(max_examples=80, deadline=None)
+def test_no_overlap_and_contents_preserved(script):
+    region = MemoryRegion("heap", HEAP_BYTES)
+    heap = HeapAllocator(region)
+    live = []  # (offset, size, fill byte)
+    fill = 1
+    for op, arg in script:
+        if op == "malloc":
+            try:
+                offset = heap.malloc(arg)
+            except Exception:
+                continue  # exhaustion is legal
+            region.write(offset, bytes([fill % 251 + 1]) * arg)
+            live.append((offset, arg, fill % 251 + 1))
+            fill += 1
+        else:
+            if arg < len(live):
+                offset, size, _byte = live.pop(arg)
+                heap.free(offset)
+        # Every live allocation still holds its pattern (no allocator
+        # metadata or other allocation scribbled over it).
+        for offset, size, byte in live:
+            assert region.read(offset, size) == bytes([byte]) * size
+
+
+@given(sizes=st.lists(st.integers(1, 300), min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_free_all_then_reallocate_big(sizes):
+    region = MemoryRegion("heap", HEAP_BYTES)
+    heap = HeapAllocator(region)
+    offsets = []
+    for size in sizes:
+        try:
+            offsets.append(heap.malloc(size))
+        except Exception:
+            break
+    for offset in offsets:
+        heap.free(offset)
+    # After freeing everything, coalescing must restore one big block.
+    heap.malloc(HEAP_BYTES - 200)
+
+
+@given(sizes=st.lists(st.integers(1, 100), min_size=2, max_size=15))
+@settings(max_examples=60, deadline=None)
+def test_distinct_payload_offsets(sizes):
+    region = MemoryRegion("heap", HEAP_BYTES)
+    heap = HeapAllocator(region)
+    offsets = [heap.malloc(size) for size in sizes]
+    assert len(set(offsets)) == len(offsets)

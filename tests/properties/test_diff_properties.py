@@ -1,0 +1,60 @@
+"""Property-based tests of the Version 2 diff algorithm."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.vista.v2_mirror_diff import diff_runs
+
+
+@st.composite
+def buffer_pair(draw):
+    old = draw(st.binary(min_size=0, max_size=200))
+    new = bytearray(old)
+    # Mutate a few random spots.
+    for _ in range(draw(st.integers(0, 5))):
+        if not new:
+            break
+        position = draw(st.integers(0, len(new) - 1))
+        new[position] = draw(st.integers(0, 255))
+    return bytes(old), bytes(new)
+
+
+@given(pair=buffer_pair())
+@settings(max_examples=150, deadline=None)
+def test_applying_runs_reconstructs_new(pair):
+    old, new = pair
+    patched = bytearray(old)
+    for offset, length in diff_runs(old, new):
+        patched[offset : offset + length] = new[offset : offset + length]
+    assert bytes(patched) == new
+
+
+@given(pair=buffer_pair())
+@settings(max_examples=150, deadline=None)
+def test_runs_are_disjoint_sorted_and_in_bounds(pair):
+    old, new = pair
+    previous_end = -1
+    for offset, length in diff_runs(old, new):
+        assert length > 0
+        assert offset > previous_end
+        assert offset + length <= len(old)
+        previous_end = offset + length - 1
+
+
+@given(data=st.binary(min_size=0, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_identical_buffers_produce_no_runs(data):
+    assert list(diff_runs(data, data)) == []
+
+
+@given(pair=buffer_pair())
+@settings(max_examples=100, deadline=None)
+def test_run_bytes_never_exceed_buffer_and_cover_changes(pair):
+    old, new = pair
+    covered = set()
+    for offset, length in diff_runs(old, new):
+        covered.update(range(offset, offset + length))
+    changed = {i for i in range(len(old)) if old[i] != new[i]}
+    assert changed <= covered
+    assert len(covered) <= len(old)

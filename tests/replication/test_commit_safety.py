@@ -1,0 +1,20 @@
+"""Commit-safety levels and their latency implications."""
+
+import pytest
+
+from repro.hardware.specs import MEMORY_CHANNEL_II
+from repro.replication.commit_safety import CommitSafety
+
+
+def test_one_safe_adds_no_latency():
+    assert CommitSafety.ONE_SAFE.extra_commit_latency_us(MEMORY_CHANNEL_II) == 0.0
+
+
+def test_two_safe_costs_a_round_trip():
+    extra = CommitSafety.TWO_SAFE.extra_commit_latency_us(MEMORY_CHANNEL_II)
+    assert extra == pytest.approx(2 * 3.3)
+
+
+def test_values_match_gray_reuter_terminology():
+    assert CommitSafety.ONE_SAFE.value == "1-safe"
+    assert CommitSafety.TWO_SAFE.value == "2-safe"

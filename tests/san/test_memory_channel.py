@@ -1,0 +1,165 @@
+"""Memory Channel semantics: write-through, write doubling, loopback,
+packet accounting, crash behaviour."""
+
+import pytest
+
+from repro.errors import CrashedError, NotMappedError
+from repro.memory.region import MemoryRegion, WriteCategory
+from repro.san.memory_channel import (
+    DoubledWrite,
+    LoopbackBuffer,
+    MemoryChannelInterface,
+)
+
+
+def make_pair(size=1024):
+    remote = MemoryRegion("remote", size)
+    interface = MemoryChannelInterface("sender")
+    mapping = interface.map_remote(remote)
+    return interface, mapping, remote
+
+
+def test_write_through_deposits_into_remote_memory():
+    _interface, mapping, remote = make_pair()
+    mapping.write(10, b"hello")
+    assert remote.read(10, 5) == b"hello"
+
+
+def test_remote_cpu_not_involved():
+    """Delivery must not require any backup-side action: the data is
+    simply present after the sender's write (DMA semantics)."""
+    _interface, mapping, remote = make_pair()
+    mapping.write(0, b"x")
+    # No polling, no apply call — the byte is just there.
+    assert remote.read(0, 1) == b"x"
+
+
+def test_out_of_window_write_rejected():
+    _interface, mapping, _remote = make_pair(64)
+    with pytest.raises(NotMappedError):
+        mapping.write(60, b"toolong")
+    with pytest.raises(NotMappedError):
+        mapping.write(-1, b"x")
+
+
+def test_traffic_accounting_by_category():
+    interface, mapping, _remote = make_pair()
+    mapping.write(0, b"abcd", WriteCategory.META)
+    mapping.write(4, b"ef", WriteCategory.UNDO)
+    mapping.write(6, b"gh", WriteCategory.UNDO)
+    assert interface.bytes_by_category[WriteCategory.META] == 4
+    assert interface.bytes_by_category[WriteCategory.UNDO] == 4
+    assert interface.bytes_sent == 8
+    assert mapping.bytes_sent == 8
+
+
+def test_packet_formation_coalesces_contiguous_writes():
+    interface, mapping, _remote = make_pair()
+    for offset in range(0, 32, 4):
+        mapping.write(offset, b"\x01" * 4)
+    interface.barrier()
+    assert interface.trace.histogram == {32: 1}
+
+
+def test_scattered_writes_make_small_packets():
+    interface, mapping, _remote = make_pair()
+    for offset in (0, 100, 200, 300):
+        mapping.write(offset, b"\x01" * 4)
+    interface.barrier()
+    assert interface.trace.histogram == {4: 4}
+
+
+def test_uncoalesced_write_emits_word_packets():
+    interface, mapping, remote = make_pair()
+    mapping.write_uncoalesced(0, b"\x07" * 20)
+    assert remote.read(0, 20) == b"\x07" * 20
+    assert interface.trace.histogram == {4: 5}
+
+
+def test_distinct_mappings_never_share_packets():
+    remote_a = MemoryRegion("a", 64)
+    remote_b = MemoryRegion("b", 64)
+    interface = MemoryChannelInterface("sender")
+    map_a = interface.map_remote(remote_a)
+    map_b = interface.map_remote(remote_b)
+    map_a.write(0, b"\x01" * 16)
+    map_b.write(0, b"\x01" * 16)
+    interface.barrier()
+    assert interface.trace.histogram == {16: 2}
+
+
+def test_io_store_count():
+    interface, mapping, _remote = make_pair()
+    mapping.write(0, b"1234")
+    mapping.write(8, b"1234")
+    assert interface.io_stores == 2
+
+
+def test_crashed_interface_rejects_writes():
+    interface, mapping, _remote = make_pair()
+    interface.crash()
+    with pytest.raises(CrashedError):
+        mapping.write(0, b"x")
+    interface.reboot()
+    mapping.write(0, b"x")
+
+
+def test_unmapped_mapping_rejected():
+    interface_a, mapping, _remote = make_pair()
+    interface_b = MemoryChannelInterface("other")
+    with pytest.raises(NotMappedError):
+        interface_b._transmit(mapping, 0, b"x", WriteCategory.MODIFIED)
+
+
+def test_reset_stats():
+    interface, mapping, _remote = make_pair()
+    mapping.write(0, b"\x01" * 8)
+    interface.barrier()
+    interface.reset_stats()
+    assert interface.bytes_sent == 0
+    assert interface.trace.packets == 0
+    assert mapping.bytes_sent == 0
+
+
+def test_link_time_accumulates():
+    interface, mapping, _remote = make_pair()
+    assert interface.link_time_us() == 0.0
+    mapping.write(0, b"\x01" * 32)
+    interface.barrier()
+    assert interface.link_time_us() > 0.0
+
+
+def test_doubled_write_keeps_copies_identical():
+    local = MemoryRegion("local", 256)
+    remote = MemoryRegion("remote", 256)
+    interface = MemoryChannelInterface("sender")
+    doubled = DoubledWrite(local, interface.map_remote(remote))
+    doubled.write(5, b"twice")
+    assert local.read(5, 5) == b"twice"
+    assert remote.read(5, 5) == b"twice"
+    assert doubled.read(5, 5) == b"twice"  # reads come from the local copy
+
+
+def test_loopback_delay_breaks_read_your_writes():
+    """Loopback mode applies I/O writes to the local copy only after a
+    delay — the hazard that makes write doubling the practical choice
+    (Section 2.3)."""
+    local = MemoryRegion("local", 64)
+    loopback = LoopbackBuffer(local)
+    loopback.enqueue(0, b"new!")
+    # The processor does NOT see its own last write yet.
+    assert local.read(0, 4) == b"\x00" * 4
+    assert loopback.pending_writes == 1
+    loopback.deliver()
+    assert local.read(0, 4) == b"new!"
+
+
+def test_loopback_partial_delivery():
+    local = MemoryRegion("local", 64)
+    loopback = LoopbackBuffer(local)
+    loopback.enqueue(0, b"a")
+    loopback.enqueue(1, b"b")
+    assert loopback.deliver(1) == 1
+    assert local.read(0, 2) == b"a\x00"
+    assert loopback.deliver() == 1
+    assert local.read(0, 2) == b"ab"

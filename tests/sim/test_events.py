@@ -1,0 +1,67 @@
+"""EventQueue: deterministic ordering and cancellation."""
+
+from repro.sim.events import EventQueue
+
+
+def test_pop_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.push(3.0, lambda: fired.append(3))
+    queue.push(1.0, lambda: fired.append(1))
+    queue.push(2.0, lambda: fired.append(2))
+    while queue:
+        queue.pop().action()
+    assert fired == [1, 2, 3]
+
+
+def test_ties_break_by_insertion_order():
+    queue = EventQueue()
+    fired = []
+    for index in range(10):
+        queue.push(5.0, lambda i=index: fired.append(i))
+    while queue:
+        queue.pop().action()
+    assert fired == list(range(10))
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    fired = []
+    keep = queue.push(1.0, lambda: fired.append("keep"))
+    drop = queue.push(0.5, lambda: fired.append("drop"))
+    drop.cancel()
+    while queue:
+        queue.pop().action()
+    assert fired == ["keep"]
+    assert keep.cancelled is False
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    first.cancel()
+    assert queue.peek_time() == 2.0
+
+
+def test_peek_time_empty():
+    assert EventQueue().peek_time() is None
+
+
+def test_len_and_bool():
+    queue = EventQueue()
+    assert not queue
+    queue.push(1.0, lambda: None)
+    assert queue
+    assert len(queue) == 1
+
+
+def test_clear():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.clear()
+    assert queue.pop() is None
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None

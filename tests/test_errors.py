@@ -1,0 +1,42 @@
+"""The exception hierarchy: everything derives from ReproError and
+carries useful context."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+
+def test_out_of_bounds_carries_context():
+    err = errors.OutOfBoundsError("db", 10, 20, 16)
+    assert err.region == "db"
+    assert err.offset == 10
+    assert err.length == 20
+    assert err.size == 16
+    assert "db" in str(err)
+    assert "[10, 30)" in str(err)
+
+
+def test_range_not_declared_carries_span():
+    err = errors.RangeNotDeclaredError(100, 8)
+    assert err.offset == 100
+    assert "[100, 108)" in str(err)
+
+
+def test_subsystem_grouping():
+    assert issubclass(errors.OutOfBoundsError, errors.MemoryError_)
+    assert issubclass(errors.AllocationError, errors.MemoryError_)
+    assert issubclass(errors.NoTransactionError, errors.TransactionError)
+    assert issubclass(errors.RedoLogFullError, errors.ReplicationError)
+    assert issubclass(errors.ClockError, errors.SimulationError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.RedoLogFullError("full")

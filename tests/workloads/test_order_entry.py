@@ -1,0 +1,131 @@
+"""Order-Entry: TPC-C update mix, per-type behaviour, invariants."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.rio import RioMemory
+from repro.vista import EngineConfig, create_engine
+from repro.workloads.order_entry import (
+    MIX_DELIVERY,
+    MIX_NEW_ORDER,
+    MIX_PAYMENT,
+    OrderEntryWorkload,
+)
+
+MB = 1024 * 1024
+CONFIG = EngineConfig(db_bytes=4 * MB, log_bytes=256 * 1024)
+
+
+def make(seed=7):
+    engine = create_engine("v3", RioMemory(f"oe-{seed}"), CONFIG)
+    workload = OrderEntryWorkload(CONFIG.db_bytes, seed=seed)
+    workload.setup(engine)
+    return engine, workload
+
+
+def test_mix_weights_are_normalized():
+    assert MIX_NEW_ORDER + MIX_PAYMENT + MIX_DELIVERY == pytest.approx(1.0)
+
+
+def test_too_small_database_rejected():
+    with pytest.raises(ConfigurationError):
+        OrderEntryWorkload(1 * MB)
+
+
+def test_three_transaction_types_all_run():
+    engine, workload = make()
+    for _ in range(300):
+        workload.run_transaction(engine)
+    assert set(workload.type_counts) == {"new-order", "payment", "delivery"}
+    assert workload.type_counts["new-order"] > workload.type_counts["delivery"]
+    assert workload.type_counts["payment"] > workload.type_counts["delivery"]
+
+
+def test_mix_fractions_approximate_tpcc():
+    engine, workload = make(seed=11)
+    total = 2000
+    for _ in range(total):
+        workload.run_transaction(engine)
+    assert workload.type_counts["new-order"] / total == pytest.approx(
+        MIX_NEW_ORDER, abs=0.05
+    )
+    assert workload.type_counts["payment"] / total == pytest.approx(
+        MIX_PAYMENT, abs=0.05
+    )
+
+
+def test_per_transaction_profile_matches_paper():
+    """~85-95 modified bytes and ~430 undo bytes per transaction
+    (Table 5 implies 85 / 437)."""
+    engine, workload = make()
+    for _ in range(500):
+        workload.run_transaction(engine)
+    per_txn = engine.counters.per_transaction()
+    assert 70 <= per_txn["db_bytes_written"] <= 115
+    assert 350 <= per_txn["undo_bytes_copied"] <= 520
+    # The undo/modified ratio is the paper's ~5x signature.
+    ratio = per_txn["undo_bytes_copied"] / per_txn["db_bytes_written"]
+    assert 3.5 <= ratio <= 6.5
+
+
+def test_shadow_model_verification():
+    engine, workload = make()
+    for _ in range(300):
+        workload.run_transaction(engine)
+    workload.verify(engine)
+
+
+def test_district_order_ids_are_sequential():
+    engine, workload = make()
+    for _ in range(200):
+        workload.run_transaction(engine)
+    for district_id, next_oid in workload.shadow_district_next_oid.items():
+        assert workload.district.read_field(
+            engine, district_id, "next_o_id"
+        ) == next_oid
+
+
+def test_delivery_before_any_order_is_harmless():
+    engine, workload = make()
+    workload._delivery(engine)  # nothing to deliver
+    assert workload.type_counts == {"delivery": 1}
+
+
+def test_deterministic_given_seed():
+    engine_a, workload_a = make(seed=5)
+    engine_b, workload_b = make(seed=5)
+    for _ in range(100):
+        workload_a.run_transaction(engine_a)
+        workload_b.run_transaction(engine_b)
+    assert engine_a.db.snapshot() == engine_b.db.snapshot()
+
+
+def test_order_entry_touches_more_lines_than_debit_credit():
+    """Order-Entry's scattered stock/order-line updates are why its
+    Table 8 degradation is steeper than Debit-Credit's."""
+    from repro.workloads.debit_credit import DebitCreditWorkload
+
+    oe_engine, oe = make()
+    dc_engine = create_engine("v3", RioMemory("dc-lines"), CONFIG)
+    dc = DebitCreditWorkload(CONFIG.db_bytes, seed=7)
+    dc.setup(dc_engine)
+    for _ in range(200):
+        oe.run_transaction(oe_engine)
+        dc.run_transaction(dc_engine)
+    oe_lines = oe_engine.profile.random_lines["db"] / 200
+    dc_lines = dc_engine.profile.random_lines["db"] / 200
+    assert oe_lines > 2.5 * dc_lines
+
+
+def test_works_against_replicated_targets():
+    from repro.replication.active import ActiveReplicatedSystem
+
+    system = ActiveReplicatedSystem(CONFIG)
+    workload = OrderEntryWorkload(CONFIG.db_bytes, seed=9)
+    workload.setup(system)
+    system.sync_initial()
+    for _ in range(100):
+        workload.run_transaction(system)
+    workload.verify(system)
+    # The backup's copy agrees with the primary's committed state.
+    assert system.backup_db.snapshot() == system.engine.db.snapshot()
