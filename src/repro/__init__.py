@@ -15,6 +15,9 @@ The library implements, for real and from scratch:
   (:mod:`repro.replication`, :mod:`repro.cluster`);
 * the **Debit-Credit** (TPC-B) and **Order-Entry** (TPC-C) benchmarks
   (:mod:`repro.workloads`);
+* a **sharding layer** beyond the paper — N primary-backup pairs
+  behind a versioned shard map and a retrying client router
+  (:mod:`repro.shard`);
 * a calibrated **performance model** that converts measured operation
   counts into the paper's tables and figures (:mod:`repro.perf`,
   :mod:`repro.experiments`).
@@ -38,6 +41,7 @@ from repro.vista.factory import ENGINE_VERSIONS, create_engine
 from repro.replication.active import ActiveReplicatedSystem
 from repro.replication.passive import PassiveReplicatedSystem
 from repro.replication.commit_safety import CommitSafety
+from repro.shard import Router, ShardedCluster, ShardedWorkload
 from repro.workloads import (
     DebitCreditWorkload,
     OrderEntryWorkload,
@@ -56,6 +60,9 @@ __all__ = [
     "PassiveReplicatedSystem",
     "ActiveReplicatedSystem",
     "CommitSafety",
+    "Router",
+    "ShardedCluster",
+    "ShardedWorkload",
     "DebitCreditWorkload",
     "OrderEntryWorkload",
     "run_workload",

@@ -5,9 +5,11 @@ pointing at Microsoft Cluster Service for well-known solutions
 (Section 1). This package provides the minimum the examples and
 fault-injection tests need — simulated nodes owning Rio memory and a
 Memory Channel interface, a fault injector that crashes a node at a
-chosen transaction or simulated time, and a heartbeat failure detector
-run on the discrete-event kernel — implemented here as an *extension*
-beyond the paper.
+chosen transaction or simulated time, a heartbeat failure detector
+run on the discrete-event kernel, and an N-member membership view
+with deterministic seniority-ordered promotion — implemented here as
+an *extension* beyond the paper. The :mod:`repro.shard` package
+stacks N replicated pairs from this package behind one shard map.
 """
 
 from repro.cluster.node import Node

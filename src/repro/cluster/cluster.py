@@ -13,7 +13,7 @@ title promises, made executable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from repro.cluster.membership import HeartbeatMonitor, Membership
 from repro.cluster.node import Node
@@ -52,6 +52,14 @@ class ReplicatedCluster:
         restore_bytes_per_us: backup-side memory copy bandwidth used to
             convert failover work (bytes restored) into simulated time;
             ~300 bytes/us matches a late-90s AlphaServer memcpy.
+        sim: a simulator to share with other pairs (a
+            :class:`~repro.shard.cluster.ShardedCluster` runs every
+            pair's heartbeats and takeovers on one clock); by default
+            the pair owns a private one.
+        primary_name / backup_name: node names, overridable so several
+            pairs can coexist on one simulator without name clashes.
+        on_failover: called with this cluster after a takeover
+            completes (the shard map uses it to bump epochs).
     """
 
     def __init__(
@@ -62,6 +70,10 @@ class ReplicatedCluster:
         heartbeat_interval_us: float = 1_000.0,
         heartbeat_timeout_us: float = 5_000.0,
         restore_bytes_per_us: float = 300.0,
+        sim: Optional[Simulator] = None,
+        primary_name: str = "primary",
+        backup_name: str = "backup",
+        on_failover: Optional[Callable[["ReplicatedCluster"], None]] = None,
     ):
         if mode not in ("passive", "active"):
             raise ConfigurationError(f"unknown cluster mode {mode!r}")
@@ -69,19 +81,26 @@ class ReplicatedCluster:
         self.version = version
         self.config = config if config is not None else EngineConfig()
         self.restore_bytes_per_us = restore_bytes_per_us
+        self.on_failover = on_failover
 
-        self.sim = Simulator()
-        self.primary_node = Node("primary")
-        self.backup_node = Node("backup")
+        self.sim = sim if sim is not None else Simulator()
+        self.primary_node = Node(primary_name)
+        self.backup_node = Node(backup_name)
         self.membership = Membership(
-            members=["primary", "backup"], primary="primary"
+            members=[primary_name, backup_name], primary=primary_name
         )
         if mode == "passive":
             self.system: Union[
                 PassiveReplicatedSystem, ActiveReplicatedSystem
-            ] = PassiveReplicatedSystem(version, self.config)
+            ] = PassiveReplicatedSystem(
+                version, self.config,
+                primary_name=primary_name, backup_name=backup_name,
+            )
         else:
-            self.system = ActiveReplicatedSystem(self.config)
+            self.system = ActiveReplicatedSystem(
+                self.config,
+                primary_name=primary_name, backup_name=backup_name,
+            )
         self.system.sync_initial()
 
         self.takeover: Optional[TakeoverReport] = None
@@ -104,6 +123,20 @@ class ReplicatedCluster:
         failover, the promoted backup engine after)."""
         return self._serving
 
+    @property
+    def is_available(self) -> bool:
+        """Whether the pair can serve a request *now* (simulated time).
+
+        False between the primary's crash and the end of the promoted
+        backup's restore work — the downtime window a router must ride
+        out with retries.
+        """
+        if self._crash_at_us is None:
+            return True
+        if self.takeover is None:
+            return False
+        return self.sim.now >= self.takeover.service_restored_at_us
+
     def run_transactions(self, workload, count: int) -> None:
         """Drive ``count`` workload transactions at the current server."""
         for _ in range(count):
@@ -124,7 +157,7 @@ class ReplicatedCluster:
         if self._crash_at_us is None:
             raise FailoverError("failure detected without a crash (bug)")
         detected = self.sim.now
-        self.membership.fail("primary")
+        self.membership.fail(self.primary_node.name)
         engine = self.system.failover()
         restored = engine.counters.rollback_bytes
         takeover_us = restored / self.restore_bytes_per_us
@@ -135,6 +168,8 @@ class ReplicatedCluster:
             bytes_restored=restored,
         )
         self._serving = engine
+        if self.on_failover is not None:
+            self.on_failover(self)
 
     def run_until(self, until_us: float) -> None:
         self.sim.run(until=until_us)

@@ -1,4 +1,4 @@
-"""Heartbeat failure detection and a two-node membership view.
+"""Heartbeat failure detection and an N-member membership view.
 
 The paper defers crash detection and group-view management to
 well-known cluster services (Section 1, citing the Microsoft Cluster
@@ -21,22 +21,65 @@ from repro.sim.engine import Simulator
 
 @dataclass
 class Membership:
-    """The backup's view of who is in the cluster and who leads."""
+    """A node's view of who is in the cluster and who leads.
+
+    Works for any member count, not just a primary-backup pair. Every
+    view change — the initial view, joins, and failures — is recorded
+    in ``history`` as ``(view_id, members, primary)`` tuples, so a
+    late-joining observer can replay how the cluster got here.
+
+    Promotion after a primary failure is deterministic: the survivor
+    with the lowest *seniority rank* (order of joining the view) takes
+    over, regardless of the order earlier members failed. A member that
+    leaves and rejoins receives a fresh, higher rank, so a flapping
+    node can never steal leadership from a stable one.
+    """
 
     members: List[str]
     primary: str
     view_id: int = 0
     history: List[tuple] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        if self.primary not in self.members:
+            raise ValueError(
+                f"primary {self.primary!r} is not a member of {self.members}"
+            )
+        if len(set(self.members)) != len(self.members):
+            raise ValueError(f"duplicate members in {self.members}")
+        self._ranks = {name: rank for rank, name in enumerate(self.members)}
+        self._next_rank = len(self.members)
+        # View 0 is itself part of the record.
+        self.history.append((self.view_id, tuple(self.members), self.primary))
+
+    def rank(self, name: str) -> int:
+        """Seniority rank of a current member (lower is more senior)."""
+        if name not in self.members:
+            raise ValueError(f"{name!r} is not a member")
+        return self._ranks[name]
+
+    def join(self, name: str) -> None:
+        """Add a member at the lowest seniority; records a view change."""
+        if name in self.members:
+            return
+        self.members.append(name)
+        self._ranks[name] = self._next_rank
+        self._next_rank += 1
+        self._record()
+
     def fail(self, name: str) -> None:
-        """Remove a member; promotes the first survivor if it led."""
+        """Remove a member; promotes the most senior survivor if it led."""
         if name not in self.members:
             return
         self.members.remove(name)
+        del self._ranks[name]
         if self.primary == name:
             if not self.members:
                 raise ValueError("no surviving member to promote")
-            self.primary = self.members[0]
+            self.primary = min(self.members, key=self._ranks.__getitem__)
+        self._record()
+
+    def _record(self) -> None:
         self.view_id += 1
         self.history.append((self.view_id, tuple(self.members), self.primary))
 

@@ -85,6 +85,37 @@ class FailoverError(ReplicationError):
     """Failover could not complete (e.g. backup also crashed)."""
 
 
+class ShardError(ReproError):
+    """Base class for sharding-layer errors."""
+
+
+class StaleShardMapError(ShardError):
+    """A request carried a shard-map epoch older than the shard's
+    current view (the client must refresh its map and redirect)."""
+
+    def __init__(self, shard_id: int, seen_epoch: int, current_epoch: int):
+        super().__init__(
+            f"shard {shard_id}: request epoch {seen_epoch} is stale "
+            f"(current epoch {current_epoch})"
+        )
+        self.shard_id = shard_id
+        self.seen_epoch = seen_epoch
+        self.current_epoch = current_epoch
+
+
+class ShardUnavailableError(ShardError):
+    """The shard's pair is mid-failover; the client should back off
+    and retry."""
+
+    def __init__(self, shard_id: int):
+        super().__init__(f"shard {shard_id} is failing over")
+        self.shard_id = shard_id
+
+
+class RoutingError(ShardError):
+    """The router could not place or complete a request."""
+
+
 class SimulationError(ReproError):
     """Base class for discrete-event-simulation errors."""
 

@@ -1,0 +1,304 @@
+"""Extension experiment: sharded multi-pair scaling and failover.
+
+Not in the paper — its cluster is one primary-backup pair. This
+experiment puts the :mod:`repro.shard` layer through both of the
+claims that justify sharding:
+
+* **Scaling** — aggregate throughput of 1/2/4/8 pairs serving
+  disjoint Debit-Credit partitions. Each pair's rate is the calibrated
+  single-pair estimate (the same one behind Tables 6/7); the
+  composition shows near-linear scaling with dedicated per-pair SAN
+  links, next to the cap one shared SAN would impose given the
+  measured per-transaction packet mix (:mod:`repro.perf.sharding`).
+
+* **Availability under failure** — a 4-shard cluster on one
+  discrete-event simulator, a router submitting a fixed per-slot load,
+  and one shard's primary crashing mid-run. Aggregate completions dip
+  to exactly 3/4 of the offered rate while that shard's backup
+  restores (the other shards never notice), then the router's retried
+  backlog drains in a catch-up burst and the rate returns to normal.
+  The pair uses passive Version 1 replication, whose whole-database
+  mirror restore makes the takeover window long enough to see.
+
+Everything is deterministic under the seed: the timeline is a pure
+function of (shards, slots, crash time, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.cluster import TakeoverReport
+from repro.experiments.common import ExperimentContext
+from repro.perf.report import ReportTable
+from repro.perf.sharding import ShardedThroughputReport, sharded_aggregate
+from repro.shard import Router, ShardedCluster, ShardedWorkload
+from repro.vista.api import EngineConfig
+
+MB = 1024 * 1024
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+#: Failover-timeline defaults (all in simulated microseconds).
+SLOT_US = 1_000.0
+SLOTS = 28
+OFFERED_PER_SHARD_PER_SLOT = 2
+CRASH_AT_US = 5_250.0
+HEARTBEAT_INTERVAL_US = 100.0
+HEARTBEAT_TIMEOUT_US = 500.0
+
+
+@dataclass
+class SlotSample:
+    """One timeline slot: what was offered and what completed."""
+
+    start_us: float
+    offered: int
+    completed: int
+
+
+@dataclass
+class FailoverTimeline:
+    """The measured dip-and-recovery curve of one shard's failover."""
+
+    num_shards: int
+    slot_us: float
+    offered_per_shard_per_slot: int
+    crashed_shard: int
+    crash_at_us: float
+    takeover: TakeoverReport
+    samples: List[SlotSample]
+    router_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def normal_per_slot(self) -> int:
+        return self.num_shards * self.offered_per_shard_per_slot
+
+    @property
+    def degraded_per_slot(self) -> int:
+        return (self.num_shards - 1) * self.offered_per_shard_per_slot
+
+    def outage_slots(self) -> List[SlotSample]:
+        """Slots that lie fully inside the unavailability window."""
+        return [
+            s for s in self.samples
+            if s.start_us > self.crash_at_us
+            and s.start_us + self.slot_us <= self.takeover.service_restored_at_us
+        ]
+
+    def recovered_slots(self) -> List[SlotSample]:
+        """Slots starting after service was restored *and* the retry
+        backlog drained (completions back at the offered rate)."""
+        drained = [
+            s for s in self.samples
+            if s.start_us > self.takeover.service_restored_at_us
+        ]
+        return [s for s in drained if s.completed == self.normal_per_slot]
+
+
+@dataclass
+class ShardingResult:
+    scaling: List[ShardedThroughputReport]
+    timeline: FailoverTimeline
+
+    def table(self) -> ReportTable:
+        table = ReportTable(
+            "Extension: sharded cluster aggregate throughput "
+            "(Debit-Credit, active replication, calibrated per-pair rate)",
+            ["pairs", "per-pair tps", "dedicated links", "speedup",
+             "one shared SAN", "SAN util."],
+        )
+        for report in self.scaling:
+            table.add_row(
+                report.shards,
+                report.per_pair_tps,
+                report.dedicated_tps,
+                f"{report.dedicated_speedup:.2f}x",
+                report.shared_san_tps,
+                f"{report.shared_san_utilization * 100:.0f}%",
+            )
+        table.add_note(
+            "disjoint shards with per-pair links scale linearly; one "
+            "shared SAN caps at the link's packet-mix capacity"
+        )
+        timeline = self.timeline
+        table.add_note(
+            f"failover dip: {timeline.num_shards} shards served "
+            f"{timeline.normal_per_slot}/slot, crash held "
+            f"{len(timeline.outage_slots())} slots at "
+            f"{timeline.degraded_per_slot}/slot "
+            f"(downtime {timeline.takeover.downtime_us / 1000:.1f} ms), "
+            f"then recovered"
+        )
+        return table
+
+    def timeline_figure(self) -> str:
+        timeline = self.timeline
+        title = (
+            f"Extension: aggregate completions per {timeline.slot_us:.0f} us "
+            f"slot across one shard failover "
+            f"({timeline.num_shards} shards, crash at "
+            f"{timeline.crash_at_us / 1000:.2f} ms)"
+        )
+        lines = [title, "=" * len(title)]
+        restored_at = timeline.takeover.service_restored_at_us
+        for sample in timeline.samples:
+            marks = []
+            if sample.start_us <= timeline.crash_at_us < sample.start_us + timeline.slot_us:
+                marks.append("<- crash")
+            if sample.start_us <= restored_at < sample.start_us + timeline.slot_us:
+                marks.append("<- restored")
+            bar = "#" * sample.completed
+            lines.append(
+                f"  {sample.start_us / 1000:>5.1f} ms  "
+                f"{sample.completed:>3}  {bar} {' '.join(marks)}".rstrip()
+            )
+        stats = timeline.router_stats
+        lines.append(
+            f"  router: {stats.get('routed', 0)} routed, "
+            f"{stats.get('retries', 0)} retries, "
+            f"{stats.get('redirects', 0)} redirects, "
+            f"{stats.get('dropped', 0)} dropped"
+        )
+        return "\n".join(lines)
+
+    def check(self) -> None:
+        # -- scaling ----------------------------------------------------
+        by_shards = {r.shards: r for r in self.scaling}
+        one = by_shards[1]
+        for n, report in by_shards.items():
+            # Disjoint shards on dedicated links scale linearly.
+            assert abs(report.dedicated_speedup - n) < 1e-9, (
+                n, report.dedicated_speedup
+            )
+            # Sharing one SAN can only cost throughput, never add it.
+            assert report.shared_san_tps <= report.dedicated_tps + 1e-9
+            assert report.per_pair_tps == one.per_pair_tps
+        shared = [by_shards[n].shared_san_tps for n in sorted(by_shards)]
+        assert shared == sorted(shared), f"shared-SAN curve not monotone: {shared}"
+        # Near-linear 1 -> 4 on dedicated links (exactly 4.0 here).
+        assert by_shards[4].dedicated_tps >= 3.6 * one.dedicated_tps
+
+        # -- failover timeline ------------------------------------------
+        timeline = self.timeline
+        n = timeline.num_shards
+        normal = timeline.normal_per_slot
+        degraded = timeline.degraded_per_slot
+
+        pre_crash = [
+            s for s in timeline.samples
+            if s.start_us + timeline.slot_us <= timeline.crash_at_us
+        ]
+        assert pre_crash and all(s.completed == normal for s in pre_crash), (
+            "healthy cluster must complete the offered rate"
+        )
+        outage = timeline.outage_slots()
+        assert len(outage) >= 3, "takeover window too short to observe"
+        assert all(s.completed == degraded for s in outage), (
+            f"outage slots should degrade to exactly (n-1)/n = "
+            f"{degraded}/{normal}: {[s.completed for s in outage]}"
+        )
+        assert timeline.recovered_slots(), "throughput never recovered"
+        # The retried backlog drains: nothing is lost end to end.
+        offered = sum(s.offered for s in timeline.samples)
+        completed = sum(s.completed for s in timeline.samples)
+        assert completed == offered, (completed, offered)
+        assert timeline.router_stats["dropped"] == 0
+        assert timeline.router_stats["retries"] > 0
+        assert timeline.router_stats["redirects"] > 0
+        # Downtime is bounded by detection plus the mirror restore.
+        report = timeline.takeover
+        assert report.downtime_us <= (
+            HEARTBEAT_TIMEOUT_US + 2 * HEARTBEAT_INTERVAL_US
+            + report.bytes_restored / 300.0 + 1.0
+        )
+        # The dip is 1/N of aggregate, not a full outage.
+        assert degraded == normal * (n - 1) // n
+
+
+def failover_timeline(
+    num_shards: int = 4,
+    slots: int = SLOTS,
+    slot_us: float = SLOT_US,
+    offered_per_shard: int = OFFERED_PER_SHARD_PER_SLOT,
+    crash_at_us: float = CRASH_AT_US,
+    crashed_shard: int = 2,
+    db_bytes_per_shard: int = 4 * MB,
+    seed: int = 42,
+) -> FailoverTimeline:
+    """Drive a sharded cluster through one primary crash and sample
+    aggregate completions per slot."""
+    config = EngineConfig(db_bytes=db_bytes_per_shard, log_bytes=512 * 1024)
+    cluster = ShardedCluster(
+        num_shards,
+        mode="passive",
+        version="v1",  # whole-database mirror restore: a visible window
+        config=config,
+        heartbeat_interval_us=HEARTBEAT_INTERVAL_US,
+        heartbeat_timeout_us=HEARTBEAT_TIMEOUT_US,
+    )
+    workload = ShardedWorkload(
+        "debit-credit", num_shards, db_bytes_per_shard, seed=seed
+    )
+    cluster.setup(workload)
+    router = Router(cluster, workload, max_attempts=12)
+
+    # A fixed round-robin load: offered_per_shard transactions per
+    # shard per slot, keyed to the first branch each shard owns.
+    for slot in range(slots):
+        at_us = slot * slot_us
+        for shard_id in range(num_shards):
+            key = workload.partitioner.ranges[shard_id].start
+            for _ in range(offered_per_shard):
+                router.submit(key=key, at_us=at_us)
+    cluster.schedule_primary_crash(crashed_shard, at_us=crash_at_us)
+    # Run past the horizon so the retry backlog fully drains.
+    cluster.run_until(slots * slot_us + 30_000.0)
+
+    takeover = cluster.takeovers[crashed_shard]
+    samples = [
+        SlotSample(
+            start_us=slot * slot_us,
+            offered=num_shards * offered_per_shard,
+            completed=router.completions_between(
+                slot * slot_us, (slot + 1) * slot_us
+            ),
+        )
+        for slot in range(slots)
+    ]
+    # Completions after the sampled horizon still belong to the run;
+    # fold them into a final catch-up slot so nothing goes missing.
+    tail = router.completions_between(slots * slot_us, float("inf"))
+    if tail:
+        samples.append(SlotSample(slots * slot_us, 0, tail))
+    return FailoverTimeline(
+        num_shards=num_shards,
+        slot_us=slot_us,
+        offered_per_shard_per_slot=offered_per_shard,
+        crashed_shard=crashed_shard,
+        crash_at_us=crash_at_us,
+        takeover=takeover,
+        samples=samples,
+        router_stats={
+            "routed": router.routed,
+            "completed": router.completed,
+            "retries": router.retries,
+            "redirects": router.redirects,
+            "dropped": router.dropped,
+        },
+    )
+
+
+def run(ctx: Optional[ExperimentContext] = None) -> ShardingResult:
+    if ctx is None:
+        ctx = ExperimentContext()
+    result = ctx.active_result("debit-credit")
+    single = ctx.estimator().active(result)
+    per_txn_trace = result.packets_per_txn()
+    scaling = [
+        sharded_aggregate(single, n, per_txn_trace=per_txn_trace)
+        for n in SHARD_COUNTS
+    ]
+    timeline = failover_timeline(seed=ctx.settings.seed)
+    return ShardingResult(scaling=scaling, timeline=timeline)

@@ -18,6 +18,7 @@ from repro.experiments import (
     ablations,
     extension_recovery,
     extension_sensitivity,
+    extension_sharding,
     extension_smp_sim,
     figure1,
     figures2_3,
@@ -92,6 +93,12 @@ def _run_sensitivity(ctx: ExperimentContext) -> List[str]:
     return [result.table().render()]
 
 
+def _run_sharding(ctx: ExperimentContext) -> List[str]:
+    result = extension_sharding.run(ctx)
+    result.check()
+    return [result.table().render(), result.timeline_figure()]
+
+
 EXPERIMENTS: Dict[str, Callable[[ExperimentContext], List[str]]] = {
     "figure1": _run_figure1,
     "table1": _run_table1_2,
@@ -104,6 +111,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentContext], List[str]]] = {
     "recovery": _run_recovery,
     "smp-validation": _run_smp_validation,
     "sensitivity": _run_sensitivity,
+    "sharding": _run_sharding,
 }
 
 ALIASES = {

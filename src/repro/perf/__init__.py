@@ -13,10 +13,13 @@ the functional implementation into simulated hardware time:
   configurations.
 * :mod:`repro.perf.report` — table/figure formatting with
   paper-versus-measured columns.
+* :mod:`repro.perf.sharding` — aggregate throughput of N replicated
+  pairs with dedicated links or one shared SAN.
 """
 
 from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION, PAPER
 from repro.perf.costmodel import CostBreakdown, CostModel
+from repro.perf.sharding import ShardedThroughputReport, sharded_aggregate
 from repro.perf.throughput import ThroughputEstimator, ThroughputReport
 
 __all__ = [
@@ -25,6 +28,8 @@ __all__ = [
     "PAPER",
     "CostModel",
     "CostBreakdown",
+    "ShardedThroughputReport",
+    "sharded_aggregate",
     "ThroughputEstimator",
     "ThroughputReport",
 ]

@@ -1,0 +1,168 @@
+"""The client-facing router: key -> shard, with retry and redirect.
+
+A :class:`Router` holds a *snapshot* of the shard map and places each
+transaction by its partition key. Two things can go wrong at the
+serving side, and the router turns both into forward progress on the
+shared simulator instead of an error at the client:
+
+* **Stale view** — the shard failed over after the snapshot was taken;
+  the server fences the request
+  (:class:`~repro.errors.StaleShardMapError`). The router refreshes
+  its snapshot and *redirects* immediately (same simulated instant —
+  the map lookup is a local RPC in a real deployment, and its latency
+  is far below the simulator's microsecond event scale).
+* **Shard mid-failover** — the new primary is still restoring
+  (:class:`~repro.errors.ShardUnavailableError`). The router *retries*
+  with exponential backoff until the shard returns or the attempt
+  budget runs out.
+
+All waiting happens as simulator events, so router traffic interleaves
+deterministically with heartbeats, crashes and takeovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import (
+    RoutingError,
+    ShardUnavailableError,
+    StaleShardMapError,
+)
+from repro.shard.cluster import ShardedCluster
+from repro.shard.workload import ShardedWorkload
+
+
+@dataclass
+class RoutedTransaction:
+    """One submitted transaction's routing lifecycle."""
+
+    key: int
+    shard_id: int
+    submitted_at_us: float
+    completed_at_us: Optional[float] = None
+    attempts: int = 0
+    dropped: bool = False
+
+    @property
+    def latency_us(self) -> Optional[float]:
+        if self.completed_at_us is None:
+            return None
+        return self.completed_at_us - self.submitted_at_us
+
+
+class Router:
+    """Routes a :class:`ShardedWorkload`'s transactions at a cluster."""
+
+    def __init__(
+        self,
+        cluster: ShardedCluster,
+        workload: ShardedWorkload,
+        max_attempts: int = 10,
+        backoff_us: float = 250.0,
+        backoff_factor: float = 2.0,
+        max_backoff_us: float = 4_000.0,
+    ):
+        if workload.num_shards != cluster.num_shards:
+            raise RoutingError(
+                f"workload spans {workload.num_shards} shards, "
+                f"cluster has {cluster.num_shards}"
+            )
+        if max_attempts < 1:
+            raise RoutingError("need at least one attempt")
+        self.cluster = cluster
+        self.workload = workload
+        self.max_attempts = max_attempts
+        self.backoff_us = backoff_us
+        self.backoff_factor = backoff_factor
+        self.max_backoff_us = max_backoff_us
+
+        self.map = cluster.shard_map.snapshot()
+        self.routed = 0
+        self.completed = 0
+        self.retries = 0
+        self.redirects = 0
+        self.dropped = 0
+        self.transactions: List[RoutedTransaction] = []
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self, key: Optional[int] = None, at_us: Optional[float] = None
+    ) -> RoutedTransaction:
+        """Submit one transaction (by ``key``, or the workload's next
+        client key) at simulated ``at_us`` (default: now)."""
+        if key is None:
+            key = self.workload.next_key()
+        shard_id = self.workload.partitioner.shard_of(key)
+        when = self.cluster.sim.now if at_us is None else at_us
+        record = RoutedTransaction(key=key, shard_id=shard_id,
+                                   submitted_at_us=when)
+        self.routed += 1
+        self.transactions.append(record)
+        self.cluster.sim.schedule_at(
+            when, lambda: self._attempt(record), name="router-submit"
+        )
+        return record
+
+    # -- the retry/redirect machine -----------------------------------------
+
+    def _attempt(self, record: RoutedTransaction) -> None:
+        record.attempts += 1
+        entry = self.map.entry(record.shard_id)
+        try:
+            self.cluster.execute(
+                record.shard_id,
+                entry.epoch,
+                lambda serving: self.workload.run_on_shard(
+                    record.shard_id, serving
+                ),
+            )
+        except StaleShardMapError:
+            # Refresh the map and redirect at the same instant; the
+            # new entry either serves or reports the shard unavailable.
+            self.redirects += 1
+            self.map = self.cluster.shard_map.snapshot()
+            record.attempts -= 1  # a redirect is not a service attempt
+            self._attempt(record)
+        except ShardUnavailableError:
+            if record.attempts >= self.max_attempts:
+                record.dropped = True
+                self.dropped += 1
+                return
+            self.retries += 1
+            delay = min(
+                self.backoff_us
+                * self.backoff_factor ** (record.attempts - 1),
+                self.max_backoff_us,
+            )
+            self.cluster.sim.schedule_after(
+                delay, lambda: self._attempt(record), name="router-retry"
+            )
+        else:
+            record.completed_at_us = self.cluster.sim.now
+            self.completed += 1
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        return self.routed - self.completed - self.dropped
+
+    def completions_between(self, start_us: float, stop_us: float) -> int:
+        """Transactions whose *completion* fell in ``[start_us, stop_us)``
+        — the unit the dip-and-recovery timeline counts."""
+        return sum(
+            1
+            for t in self.transactions
+            if t.completed_at_us is not None
+            and start_us <= t.completed_at_us < stop_us
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Router(routed={self.routed}, completed={self.completed}, "
+            f"retries={self.retries}, redirects={self.redirects}, "
+            f"dropped={self.dropped})"
+        )

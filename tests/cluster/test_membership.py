@@ -91,17 +91,85 @@ class TestMembership:
         view = Membership(members=["a"], primary="a")
         view.fail("ghost")
         assert view.view_id == 0
+        assert len(view.history) == 1  # just the initial view
 
     def test_last_member_failure_rejected(self):
         view = Membership(members=["a"], primary="a")
         with pytest.raises(ValueError):
             view.fail("a")
 
-    def test_history_records_views(self):
+    def test_primary_must_be_a_member(self):
+        with pytest.raises(ValueError):
+            Membership(members=["a", "b"], primary="ghost")
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ValueError):
+            Membership(members=["a", "a"], primary="a")
+
+    def test_history_records_every_view_including_initial(self):
         view = Membership(members=["a", "b", "c"], primary="a")
         view.fail("a")
         view.fail("b")
         assert view.history == [
+            (0, ("a", "b", "c"), "a"),
             (1, ("b", "c"), "b"),
             (2, ("c",), "c"),
         ]
+
+
+class TestMultiMemberViews:
+    def test_promotion_is_seniority_ordered_not_list_ordered(self):
+        view = Membership(members=["a", "b", "c", "d"], primary="a")
+        # b fails first, then the primary: promotion must pick c (the
+        # most senior survivor), never depend on removal order.
+        view.fail("b")
+        view.fail("a")
+        assert view.primary == "c"
+        assert view.members == ["c", "d"]
+
+    def test_promotion_chain_is_deterministic(self):
+        names = ["n0", "n1", "n2", "n3", "n4"]
+        view = Membership(members=list(names), primary="n0")
+        for expected in ("n1", "n2", "n3", "n4"):
+            view.fail(view.primary)
+            assert view.primary == expected
+
+    def test_join_records_a_view_change(self):
+        view = Membership(members=["a", "b"], primary="a")
+        view.join("c")
+        assert view.members == ["a", "b", "c"]
+        assert view.view_id == 1
+        assert view.history[-1] == (1, ("a", "b", "c"), "a")
+
+    def test_rejoin_gets_fresh_lowest_seniority(self):
+        view = Membership(members=["a", "b", "c"], primary="a")
+        view.fail("b")
+        view.join("b")  # b flaps: back in, but most junior now
+        view.fail("a")
+        # c (rank 2) outranks the rejoined b (rank 3).
+        assert view.primary == "c"
+
+    def test_join_existing_member_is_noop(self):
+        view = Membership(members=["a", "b"], primary="a")
+        view.join("a")
+        assert view.view_id == 0
+
+    def test_rank_reflects_join_order(self):
+        view = Membership(members=["a", "b"], primary="a")
+        view.join("c")
+        assert view.rank("a") == 0
+        assert view.rank("c") == 2
+        with pytest.raises(ValueError):
+            view.rank("ghost")
+
+    def test_eight_member_view_history_replays_failures(self):
+        members = [f"shard{i}/{role}" for i in range(4)
+                   for role in ("primary", "backup")]
+        view = Membership(members=list(members), primary=members[0])
+        view.fail("shard2/primary")
+        view.fail("shard0/primary")
+        assert len(view.history) == 3
+        final_id, final_members, final_primary = view.history[-1]
+        assert final_id == view.view_id == 2
+        assert len(final_members) == 6
+        assert final_primary == "shard0/backup"

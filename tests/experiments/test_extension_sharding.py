@@ -1,0 +1,50 @@
+"""The sharding extension experiment at test fidelity."""
+
+from repro.experiments import extension_sharding
+from repro.experiments.common import ExperimentContext, ExperimentSettings
+
+MB = 1024 * 1024
+
+
+def small_ctx():
+    return ExperimentContext(
+        ExperimentSettings(transactions=250, warmup=50,
+                           allocated_db_bytes=4 * MB)
+    )
+
+
+def test_runs_checks_and_renders():
+    result = extension_sharding.run(small_ctx())
+    result.check()
+    table = result.table().render()
+    assert "dedicated links" in table
+    assert "one shared SAN" in table
+    figure = result.timeline_figure()
+    assert "<- crash" in figure
+    assert "<- restored" in figure
+
+
+def test_dip_is_one_nth_not_zero():
+    timeline = extension_sharding.failover_timeline(seed=42)
+    outage = timeline.outage_slots()
+    assert outage, "expected an observable outage window"
+    for sample in outage:
+        assert sample.completed == timeline.degraded_per_slot
+        assert 0 < sample.completed < timeline.normal_per_slot
+    assert timeline.recovered_slots()
+
+
+def test_timeline_is_deterministic_under_the_seed():
+    first = extension_sharding.failover_timeline(seed=42)
+    second = extension_sharding.failover_timeline(seed=42)
+    assert first.samples == second.samples
+    assert first.router_stats == second.router_stats
+    assert first.takeover == second.takeover
+
+
+def test_scaling_is_near_linear_on_dedicated_links():
+    ctx = small_ctx()
+    result = extension_sharding.run(ctx)
+    by_shards = {r.shards: r for r in result.scaling}
+    assert by_shards[4].dedicated_tps >= 3.6 * by_shards[1].dedicated_tps
+    assert by_shards[8].shared_san_tps <= by_shards[8].dedicated_tps

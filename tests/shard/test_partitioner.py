@@ -1,0 +1,72 @@
+"""Range partitioning of workload keyspaces."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.shard.partitioner import KeyRange, Partitioner
+from repro.workloads import DebitCreditWorkload, OrderEntryWorkload
+
+MB = 1024 * 1024
+
+
+def test_ranges_are_contiguous_and_cover_the_keyspace():
+    part = Partitioner([3, 2, 5])
+    assert part.num_shards == 3
+    assert part.total_keys == 10
+    assert part.ranges[0] == KeyRange(0, 0, 3)
+    assert part.ranges[1] == KeyRange(1, 3, 5)
+    assert part.ranges[2] == KeyRange(2, 5, 10)
+    owners = [part.shard_of(key) for key in range(10)]
+    assert owners == [0, 0, 0, 1, 1, 2, 2, 2, 2, 2]
+
+
+def test_local_global_round_trip():
+    part = Partitioner([4, 4, 4])
+    for key in range(part.total_keys):
+        shard_id, local = part.to_local(key)
+        assert key in part.ranges[shard_id]
+        assert part.to_global(shard_id, local) == key
+
+
+def test_even_split_spreads_the_remainder():
+    part = Partitioner.even(10, 4)
+    assert [r.size for r in part.ranges] == [3, 3, 2, 2]
+    assert part.total_keys == 10
+
+
+def test_even_split_validates():
+    with pytest.raises(ConfigurationError):
+        Partitioner.even(3, 4)  # cannot give every shard a key
+    with pytest.raises(ConfigurationError):
+        Partitioner.even(8, 0)
+
+
+def test_out_of_range_keys_rejected():
+    part = Partitioner([2, 2])
+    with pytest.raises(ConfigurationError):
+        part.shard_of(-1)
+    with pytest.raises(ConfigurationError):
+        part.shard_of(4)
+    with pytest.raises(ConfigurationError):
+        part.to_global(0, 2)
+
+
+def test_empty_or_zero_shards_rejected():
+    with pytest.raises(ConfigurationError):
+        Partitioner([])
+    with pytest.raises(ConfigurationError):
+        Partitioner([2, 0, 2])
+
+
+def test_for_debit_credit_reads_branches_off_the_layouts():
+    shards = [DebitCreditWorkload(4 * MB, seed=i) for i in range(3)]
+    part = Partitioner.for_debit_credit(shards)
+    assert part.num_shards == 3
+    assert part.total_keys == sum(w.branches.records for w in shards)
+
+
+def test_for_order_entry_reads_warehouses_off_the_layouts():
+    shards = [OrderEntryWorkload(16 * MB, seed=i) for i in range(2)]
+    part = Partitioner.for_order_entry(shards)
+    assert part.total_keys == sum(w.warehouse.records for w in shards)
+    assert part.total_keys >= 2
