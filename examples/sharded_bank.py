@@ -9,8 +9,18 @@ shards never miss a transaction, and the router's retries deliver the
 delayed requests once service returns — nothing is lost.
 
 Run:  python examples/sharded_bank.py
+      python examples/sharded_bank.py --trace bank.jsonl
+      python examples/sharded_bank.py --chrome-trace bank.chrome.json
+
+With ``--trace`` the whole run is recorded as a JSONL trace that
+``python -m repro.obs.report bank.jsonl`` renders as a failover
+timeline; ``--chrome-trace`` writes the same events in Chrome
+``trace_event`` format for chrome://tracing or https://ui.perfetto.dev.
 """
 
+import argparse
+
+from repro.obs import NULL_OBSERVER, Observer, write_chrome_trace, write_jsonl
 from repro.shard import Router, ShardedCluster, ShardedWorkload
 from repro.vista import EngineConfig
 
@@ -22,7 +32,16 @@ CRASH_AT_US = 5_000.0
 CRASHED_SHARD = 1
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record a JSONL trace of the run at PATH")
+    parser.add_argument("--chrome-trace", metavar="PATH", default=None,
+                        help="record a Chrome trace_event JSON at PATH")
+    args = parser.parse_args(argv)
+    tracing = args.trace or args.chrome_trace
+    observer = Observer() if tracing else NULL_OBSERVER
+
     config = EngineConfig(db_bytes=4 * MB, log_bytes=512 * KB)
     cluster = ShardedCluster(
         NUM_SHARDS,
@@ -30,12 +49,13 @@ def main() -> None:
         config=config,
         heartbeat_interval_us=100.0,
         heartbeat_timeout_us=500.0,
+        observer=observer,
     )
     workload = ShardedWorkload(
         "debit-credit", NUM_SHARDS, config.db_bytes, seed=2026
     )
     cluster.setup(workload)
-    router = Router(cluster, workload)
+    router = Router(cluster, workload, observer=observer)
 
     total_accounts = sum(w.accounts.records for w in workload.shards)
     print(f"bank: {total_accounts:,} accounts over {NUM_SHARDS} shards, "
@@ -76,6 +96,17 @@ def main() -> None:
     print(f"\nall {NUM_SHARDS} shards verified against their shadow "
           f"models: {workload.transactions_run} transactions, none lost, "
           f"3/4 of the cluster never blinked")
+
+    if args.trace:
+        write_jsonl(args.trace, observer.recorder.events,
+                    metrics=observer.registry)
+        print(f"\ntrace written to {args.trace} "
+              f"({len(observer.recorder.events)} events) — render it with "
+              f"'python -m repro.obs.report {args.trace}'")
+    if args.chrome_trace:
+        write_chrome_trace(args.chrome_trace, observer.recorder.events)
+        print(f"chrome trace written to {args.chrome_trace} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

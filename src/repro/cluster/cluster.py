@@ -18,6 +18,7 @@ from typing import Callable, Optional, Union
 from repro.cluster.membership import HeartbeatMonitor, Membership
 from repro.cluster.node import Node
 from repro.errors import ConfigurationError, FailoverError
+from repro.obs.observer import resolve_observer
 from repro.replication.active import ActiveReplicatedSystem
 from repro.replication.passive import PassiveReplicatedSystem
 from repro.sim.engine import Simulator
@@ -74,6 +75,7 @@ class ReplicatedCluster:
         primary_name: str = "primary",
         backup_name: str = "backup",
         on_failover: Optional[Callable[["ReplicatedCluster"], None]] = None,
+        observer=None,
     ):
         if mode not in ("passive", "active"):
             raise ConfigurationError(f"unknown cluster mode {mode!r}")
@@ -82,12 +84,15 @@ class ReplicatedCluster:
         self.config = config if config is not None else EngineConfig()
         self.restore_bytes_per_us = restore_bytes_per_us
         self.on_failover = on_failover
+        self.observer = resolve_observer(observer)
 
-        self.sim = sim if sim is not None else Simulator()
+        self.sim = sim if sim is not None else Simulator(observer=self.observer)
+        self.observer.bind_clock(lambda: self.sim.now)
         self.primary_node = Node(primary_name)
         self.backup_node = Node(backup_name)
         self.membership = Membership(
-            members=[primary_name, backup_name], primary=primary_name
+            members=[primary_name, backup_name], primary=primary_name,
+            observer=self.observer,
         )
         if mode == "passive":
             self.system: Union[
@@ -95,11 +100,13 @@ class ReplicatedCluster:
             ] = PassiveReplicatedSystem(
                 version, self.config,
                 primary_name=primary_name, backup_name=backup_name,
+                observer=self.observer,
             )
         else:
             self.system = ActiveReplicatedSystem(
                 self.config,
                 primary_name=primary_name, backup_name=backup_name,
+                observer=self.observer,
             )
         self.system.sync_initial()
 
@@ -112,6 +119,7 @@ class ReplicatedCluster:
             self._on_primary_failure,
             interval_us=heartbeat_interval_us,
             timeout_us=heartbeat_timeout_us,
+            observer=self.observer,
         )
         self.monitor.start()
 
@@ -152,6 +160,11 @@ class ReplicatedCluster:
         self._crash_at_us = self.sim.now
         self.primary_node.crash()
         self.system.fail_primary()
+        if self.observer.enabled:
+            self.observer.count("cluster.crashes")
+            self.observer.event(
+                "cluster", "fault.crash", node=self.primary_node.name
+            )
 
     def _on_primary_failure(self) -> None:
         if self._crash_at_us is None:
@@ -168,6 +181,26 @@ class ReplicatedCluster:
             bytes_restored=restored,
         )
         self._serving = engine
+        if self.observer.enabled:
+            self.observer.count("cluster.takeovers")
+            self.observer.event(
+                "cluster", "failure.detected",
+                node=self.primary_node.name,
+                detection_us=detected - self._crash_at_us,
+            )
+            self.observer.span(
+                "cluster", "takeover",
+                start_us=detected,
+                end_us=self.takeover.service_restored_at_us,
+                bytes_restored=restored,
+                new_primary=self.backup_node.name,
+            )
+            # The promoted engine's own tallies join the shared
+            # namespace, so a report reads one registry, not two paths.
+            engine.counters.snapshot_into(
+                self.observer.registry,
+                self.observer.metric_name("cluster.takeover.engine"),
+            )
         if self.on_failover is not None:
             self.on_failover(self)
 

@@ -7,12 +7,20 @@ workload driver (or the simulator) reaches that point. Keeping the
 plan declarative makes crash-recovery tests reproducible and lets the
 property-based tests sweep the crash point over every position in a
 transaction schedule.
+
+Every firing is recorded in :attr:`FaultInjector.fired` as a
+:class:`FiredPlan` — the plan, its repr, and the simulated time and/or
+transaction count at which it went off — and, when an observer is
+attached, also emitted as a ``fault.crash`` trace event so crash
+points line up with takeover spans in a recorded timeline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Callable, List, Optional
+
+from repro.obs.observer import resolve_observer
 
 
 @dataclass(frozen=True)
@@ -36,12 +44,38 @@ class CrashPlan:
             )
 
 
-class FaultInjector:
-    """Fires crash actions when execution reaches planned points."""
+@dataclass(frozen=True)
+class FiredPlan:
+    """One plan that went off: what fired, where, and when.
 
-    def __init__(self) -> None:
+    ``at_us`` is the simulated time of the firing when one was known
+    (time-triggered plans always have it; transaction-triggered plans
+    get it from the injector's clock or observer when either is
+    attached, else None). ``at_transactions`` is the commit count for
+    transaction-triggered plans.
+    """
+
+    plan: CrashPlan
+    plan_repr: str
+    at_us: Optional[float] = None
+    at_transactions: Optional[int] = None
+
+
+class FaultInjector:
+    """Fires crash actions when execution reaches planned points.
+
+    Args:
+        observer: obs hook; fired plans emit ``fault.crash`` events.
+        clock: optional simulated-time source used to stamp
+            transaction-triggered firings (time-triggered firings are
+            stamped with the notification time itself).
+    """
+
+    def __init__(self, observer=None, clock: Optional[Callable[[], float]] = None):
         self._plans: List[tuple] = []
-        self.fired: List[CrashPlan] = []
+        self._clock = clock
+        self.observer = resolve_observer(observer)
+        self.fired: List[FiredPlan] = []
 
     def schedule(self, plan: CrashPlan, action: Callable[[], None]) -> None:
         self._plans.append((plan, action))
@@ -55,7 +89,7 @@ class FaultInjector:
                 plan.after_transactions is not None
                 and count >= plan.after_transactions
             ):
-                self._fire(plan, action)
+                self._fire(plan, action, at_us=self._now(), at_transactions=count)
                 fired = True
         return fired
 
@@ -64,7 +98,7 @@ class FaultInjector:
         fired = False
         for plan, action in list(self._plans):
             if plan.at_time_us is not None and now_us >= plan.at_time_us:
-                self._fire(plan, action)
+                self._fire(plan, action, at_us=now_us)
                 fired = True
         return fired
 
@@ -79,13 +113,42 @@ class FaultInjector:
             return None
         return min(plans, key=lambda plan: plan.after_transactions)
 
-    def _fire(self, plan: CrashPlan, action: Callable[[], None]) -> None:
+    def _now(self) -> Optional[float]:
+        if self._clock is not None:
+            return self._clock()
+        if self.observer.enabled:
+            return self.observer.now
+        return None
+
+    def _fire(
+        self,
+        plan: CrashPlan,
+        action: Callable[[], None],
+        at_us: Optional[float] = None,
+        at_transactions: Optional[int] = None,
+    ) -> None:
         self._plans = [
             (other_plan, other_action)
             for other_plan, other_action in self._plans
             if other_plan is not plan
         ]
-        self.fired.append(plan)
+        self.fired.append(
+            FiredPlan(
+                plan=plan,
+                plan_repr=repr(plan),
+                at_us=at_us,
+                at_transactions=at_transactions,
+            )
+        )
+        if self.observer.enabled:
+            self.observer.count("faults.fired")
+            attrs = {"plan": repr(plan)}
+            if at_transactions is not None:
+                attrs["at_transactions"] = at_transactions
+            if at_us is not None:
+                self.observer.event_at(at_us, "faults", "fault.crash", **attrs)
+            else:
+                self.observer.event("faults", "fault.crash", **attrs)
         action()
 
     @property

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.cluster.node import Node
+from repro.obs.observer import NULL_OBSERVER, resolve_observer
 from repro.sim.engine import Simulator
 
 
@@ -39,6 +40,7 @@ class Membership:
     primary: str
     view_id: int = 0
     history: List[tuple] = field(default_factory=list)
+    observer: object = field(default=NULL_OBSERVER, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.primary not in self.members:
@@ -51,6 +53,17 @@ class Membership:
         self._next_rank = len(self.members)
         # View 0 is itself part of the record.
         self.history.append((self.view_id, tuple(self.members), self.primary))
+        self._emit_view()
+
+    def _emit_view(self) -> None:
+        if self.observer.enabled:
+            self.observer.count("membership.view_changes")
+            self.observer.gauge("membership.members", len(self.members))
+            self.observer.event(
+                "membership", "view.change",
+                view_id=self.view_id, members=list(self.members),
+                primary=self.primary,
+            )
 
     def rank(self, name: str) -> int:
         """Seniority rank of a current member (lower is more senior)."""
@@ -82,6 +95,7 @@ class Membership:
     def _record(self) -> None:
         self.view_id += 1
         self.history.append((self.view_id, tuple(self.members), self.primary))
+        self._emit_view()
 
 
 class HeartbeatMonitor:
@@ -95,6 +109,7 @@ class HeartbeatMonitor:
         on_failure: Callable[[], None],
         interval_us: float = 1000.0,
         timeout_us: float = 5000.0,
+        observer=None,
     ):
         if timeout_us <= interval_us:
             raise ValueError("timeout must exceed the heartbeat interval")
@@ -103,6 +118,7 @@ class HeartbeatMonitor:
         self.on_failure = on_failure
         self.interval_us = interval_us
         self.timeout_us = timeout_us
+        self.observer = resolve_observer(observer)
         self.detected_at_us: Optional[float] = None
         self._stopped = False
 
@@ -124,6 +140,8 @@ class HeartbeatMonitor:
         if self._stopped:
             return
         self.watched.heartbeat(self.sim.now)
+        if self.observer.enabled:
+            self.observer.count("monitor.heartbeats")
         self._schedule_beat()
 
     def _schedule_check(self) -> None:
@@ -135,6 +153,14 @@ class HeartbeatMonitor:
         last = self.watched.last_heartbeat_us or 0.0
         if self.sim.now - last > self.timeout_us:
             self.detected_at_us = self.sim.now
+            if self.observer.enabled:
+                self.observer.count("monitor.missed_beats")
+                self.observer.event(
+                    "monitor", "heartbeat.missed",
+                    node=self.watched.name,
+                    last_heartbeat_us=last,
+                    timeout_us=self.timeout_us,
+                )
             self.on_failure()
             return
         self._schedule_check()

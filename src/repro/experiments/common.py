@@ -159,7 +159,7 @@ def _disable_coalescing(interface) -> None:
     from repro.hardware.writebuffer import WriteBufferModel
 
     interface.write_buffer = WriteBufferModel(
-        num_buffers=1, block_bytes=4, on_packet=interface.trace.record
+        num_buffers=1, block_bytes=4, on_packet=interface.record_packet
     )
 
 

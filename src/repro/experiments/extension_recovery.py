@@ -9,9 +9,10 @@ memcpy-bandwidth model in :mod:`repro.replication.recovery_time`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.obs import MetricsRegistry, Observer
 from repro.perf.report import ReportTable
 from repro.replication.active import ActiveReplicatedSystem
 from repro.replication.passive import PassiveReplicatedSystem
@@ -36,6 +37,10 @@ class RecoveryResult:
     measured_restore_bytes: Dict[str, int]
     db_bytes: int
     loss_window_us: float = 0.0
+    #: The obs registry every engine's counters were bridged into;
+    #: ``measured_restore_bytes`` is read back out of it, so the check
+    #: consumes the observability path, not engine-private state.
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def table(self) -> ReportTable:
         table = ReportTable(
@@ -88,12 +93,22 @@ class RecoveryResult:
         assert self.measured_restore_bytes["v1"] == self.db_bytes
         assert self.measured_restore_bytes["v2"] == self.db_bytes
         assert self.measured_restore_bytes["v3"] < 4096
+        # ...and the obs registry holds the same numbers the check just
+        # consumed — the bridge is lossless.
+        for version in ("v0", "v1", "v2", "v3"):
+            assert self.registry.value(
+                f"recovery.{version}.engine.rollback_bytes"
+            ) == self.measured_restore_bytes[version]
+        assert self.registry.value(
+            "recovery.active.ring_backlog_bytes"
+        ) == self.measured_restore_bytes["active-backlog"]
         # "A very short window of vulnerability (a few microseconds)".
         assert 3.0 < self.loss_window_us < 20.0, self.loss_window_us
 
 
 def run(db_bytes: int = 8 * MB, seed: int = 42) -> RecoveryResult:
     config = EngineConfig(db_bytes=db_bytes, log_bytes=2 * MB)
+    observer = Observer()
     measured: Dict[str, int] = {}
     live_undo = 0
 
@@ -110,7 +125,14 @@ def run(db_bytes: int = 8 * MB, seed: int = 42) -> RecoveryResult:
         system.write(0, b"\xff" * 64)
         system.fail_primary()
         engine = system.failover()
-        measured[version] = engine.counters.rollback_bytes
+        # Bridge the promoted engine's tallies into the obs namespace
+        # and read the measurement back out of the registry.
+        engine.counters.snapshot_into(
+            observer.registry, f"recovery.{version}.engine"
+        )
+        measured[version] = int(
+            observer.registry.value(f"recovery.{version}.engine.rollback_bytes")
+        )
         if version == "v3":
             live_undo = max(live_undo, measured[version])
 
@@ -126,6 +148,9 @@ def run(db_bytes: int = 8 * MB, seed: int = 42) -> RecoveryResult:
     ) / 50.0
     active.fail_primary()
     active.failover()
+    observer.registry.gauge("recovery.active.ring_backlog_bytes").set(
+        float(backlog)
+    )
     measured["active-backlog"] = backlog
 
     profiles = profiles_for(
@@ -139,4 +164,5 @@ def run(db_bytes: int = 8 * MB, seed: int = 42) -> RecoveryResult:
         measured_restore_bytes=measured,
         db_bytes=db_bytes,
         loss_window_us=one_safe_window_us(redo_link_per_txn),
+        registry=observer.registry,
     )

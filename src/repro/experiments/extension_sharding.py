@@ -27,10 +27,12 @@ function of (shards, slots, crash time, seed).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.cluster.cluster import TakeoverReport
 from repro.experiments.common import ExperimentContext
+from repro.obs import Observer, TraceEvent, analyze_timeline, write_jsonl
+from repro.obs.report import TimelineReport
 from repro.perf.report import ReportTable
 from repro.perf.sharding import ShardedThroughputReport, sharded_aggregate
 from repro.shard import Router, ShardedCluster, ShardedWorkload
@@ -70,6 +72,15 @@ class FailoverTimeline:
     takeover: TakeoverReport
     samples: List[SlotSample]
     router_stats: Dict[str, int] = field(default_factory=dict)
+    #: The raw trace the numbers above were derived from.
+    trace_events: List[TraceEvent] = field(default_factory=list)
+
+    def trace_report(self, window_us: Optional[float] = None) -> TimelineReport:
+        """Re-derive the timeline report from the recorded trace."""
+        return analyze_timeline(
+            self.trace_events,
+            window_us=self.slot_us if window_us is None else window_us,
+        )
 
     @property
     def normal_per_slot(self) -> int:
@@ -216,6 +227,33 @@ class ShardingResult:
         # The dip is 1/N of aggregate, not a full outage.
         assert degraded == normal * (n - 1) // n
 
+        # -- trace consistency ------------------------------------------
+        # Re-deriving the report from the raw trace must reproduce the
+        # numbers every assertion above just consumed.
+        rederived = timeline.trace_report()
+        assert rederived.routing == timeline.router_stats
+        spans = [
+            s for s in rederived.failovers
+            if s.shard_id == timeline.crashed_shard
+        ]
+        assert len(spans) == 1, "exactly one shard failed over"
+        assert spans[0].downtime_us == report.downtime_us
+        assert spans[0].crash_at_us == timeline.crash_at_us
+        sampled_slots = len(
+            [s for s in timeline.samples if s.offered > 0]
+        )
+        assert rederived.window_counts(sampled_slots) == [
+            s.completed for s in timeline.samples[:sampled_slots]
+        ]
+        assert len(rederived.completions) == sum(
+            s.completed for s in timeline.samples
+        )
+        # Every shard — crashed one included — eventually completed
+        # exactly what it was offered; the dip was delay, not loss.
+        assert sorted(rederived.per_shard_completions) == list(range(n))
+        for count in rederived.per_shard_completions.values():
+            assert count == SLOTS * timeline.offered_per_shard_per_slot
+
 
 def failover_timeline(
     num_shards: int = 4,
@@ -226,9 +264,22 @@ def failover_timeline(
     crashed_shard: int = 2,
     db_bytes_per_shard: int = 4 * MB,
     seed: int = 42,
+    observer: Optional[Observer] = None,
+    trace_path: Optional[Union[str, "object"]] = None,
 ) -> FailoverTimeline:
-    """Drive a sharded cluster through one primary crash and sample
-    aggregate completions per slot."""
+    """Drive a sharded cluster through one primary crash and derive the
+    per-slot timeline *from the recorded trace*.
+
+    An :class:`~repro.obs.Observer` is always attached (recording never
+    touches model state, so the numbers match an unobserved run bit for
+    bit); the takeover span, slot completions and router totals all
+    come out of :func:`~repro.obs.report.analyze_timeline` rather than
+    the live objects. Pass ``trace_path`` to additionally dump the
+    trace (and metrics snapshot) as JSONL for ``python -m
+    repro.obs.report``.
+    """
+    if observer is None:
+        observer = Observer()
     config = EngineConfig(db_bytes=db_bytes_per_shard, log_bytes=512 * 1024)
     cluster = ShardedCluster(
         num_shards,
@@ -237,12 +288,13 @@ def failover_timeline(
         config=config,
         heartbeat_interval_us=HEARTBEAT_INTERVAL_US,
         heartbeat_timeout_us=HEARTBEAT_TIMEOUT_US,
+        observer=observer,
     )
     workload = ShardedWorkload(
         "debit-credit", num_shards, db_bytes_per_shard, seed=seed
     )
     cluster.setup(workload)
-    router = Router(cluster, workload, max_attempts=12)
+    router = Router(cluster, workload, max_attempts=12, observer=observer)
 
     # A fixed round-robin load: offered_per_shard transactions per
     # shard per slot, keyed to the first branch each shard owns.
@@ -256,12 +308,22 @@ def failover_timeline(
     # Run past the horizon so the retry backlog fully drains.
     cluster.run_until(slots * slot_us + 30_000.0)
 
-    takeover = cluster.takeovers[crashed_shard]
+    events = list(observer.recorder.events)
+    report = analyze_timeline(events, window_us=slot_us)
+    span = next(
+        s for s in report.failovers if s.shard_id == crashed_shard
+    )
+    takeover = TakeoverReport(
+        crash_at_us=span.crash_at_us,
+        detected_at_us=span.detected_at_us,
+        service_restored_at_us=span.restored_at_us,
+        bytes_restored=span.bytes_restored,
+    )
     samples = [
         SlotSample(
             start_us=slot * slot_us,
             offered=num_shards * offered_per_shard,
-            completed=router.completions_between(
+            completed=report.completions_between(
                 slot * slot_us, (slot + 1) * slot_us
             ),
         )
@@ -269,9 +331,16 @@ def failover_timeline(
     ]
     # Completions after the sampled horizon still belong to the run;
     # fold them into a final catch-up slot so nothing goes missing.
-    tail = router.completions_between(slots * slot_us, float("inf"))
+    tail = report.completions_between(slots * slot_us, float("inf"))
     if tail:
         samples.append(SlotSample(slots * slot_us, 0, tail))
+    # The trace must agree with the router's own bookkeeping — the
+    # observer is a recorder, never a participant.
+    assert report.routing["routed"] == router.routed
+    assert report.routing["completed"] == router.completed
+    assert takeover.downtime_us == cluster.takeovers[crashed_shard].downtime_us
+    if trace_path is not None:
+        write_jsonl(trace_path, events, metrics=observer.registry)
     return FailoverTimeline(
         num_shards=num_shards,
         slot_us=slot_us,
@@ -280,13 +349,8 @@ def failover_timeline(
         crash_at_us=crash_at_us,
         takeover=takeover,
         samples=samples,
-        router_stats={
-            "routed": router.routed,
-            "completed": router.completed,
-            "retries": router.retries,
-            "redirects": router.redirects,
-            "dropped": router.dropped,
-        },
+        router_stats=dict(report.routing),
+        trace_events=events,
     )
 
 

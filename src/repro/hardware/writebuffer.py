@@ -121,6 +121,12 @@ class WriteBufferModel:
     # -- inspection -----------------------------------------------------
 
     @property
+    def open_buffers(self) -> int:
+        """How many write buffers currently hold undrained stores (the
+        queue-occupancy number the observability layer gauges)."""
+        return len(self._open)
+
+    @property
     def histogram(self) -> dict:
         """Mapping of packet size (bytes) -> count of packets emitted."""
         return dict(self._histogram)

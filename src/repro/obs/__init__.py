@@ -1,0 +1,93 @@
+"""repro.obs — sim-time metrics, structured tracing, and reporting.
+
+One optional :class:`~repro.obs.observer.Observer` threads through the
+whole stack (simulator, SAN, replication, cluster, shards); every
+layer emits counters/gauges/histograms into a shared
+:class:`~repro.obs.metrics.MetricsRegistry` and typed
+:class:`~repro.obs.trace.TraceEvent` records into a shared
+:class:`~repro.obs.trace.TraceRecorder`. Traces export to JSONL and
+Chrome ``trace_event`` format (:mod:`repro.obs.export`), and
+``python -m repro.obs.report`` reconstructs a failover timeline from a
+trace file (:mod:`repro.obs.report`).
+
+Default-off: components fall back to :data:`NULL_OBSERVER`, which
+records nothing, so the perf-model calibration and seed determinism
+are untouched unless an observer is attached (or ``REPRO_OBS=1``).
+"""
+
+from repro.obs.export import (
+    chrome_trace_dict,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BOUNDS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    NullObserver,
+    OBS_ENV_VAR,
+    Observer,
+    get_default_observer,
+    resolve_observer,
+)
+from repro.obs.trace import (
+    KIND_INSTANT,
+    KIND_SPAN,
+    TraceEvent,
+    TraceRecorder,
+    select_events,
+)
+
+# The report symbols are re-exported lazily (PEP 562) so that running
+# the CLI as ``python -m repro.obs.report`` does not pre-import the
+# module through the package and trip runpy's double-import warning.
+_REPORT_EXPORTS = (
+    "FailoverSpan",
+    "LatencySummary",
+    "TimelineReport",
+    "analyze_timeline",
+    "analyze_trace_file",
+)
+
+
+def __getattr__(name):
+    if name in _REPORT_EXPORTS:
+        from repro.obs import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BOUNDS",
+    "FailoverSpan",
+    "Gauge",
+    "Histogram",
+    "KIND_INSTANT",
+    "KIND_SPAN",
+    "LatencySummary",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "OBS_ENV_VAR",
+    "Observer",
+    "TimelineReport",
+    "TraceEvent",
+    "TraceRecorder",
+    "analyze_timeline",
+    "analyze_trace_file",
+    "chrome_trace_dict",
+    "get_default_observer",
+    "read_jsonl",
+    "resolve_observer",
+    "select_events",
+    "write_chrome_trace",
+    "write_jsonl",
+]

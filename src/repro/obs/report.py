@@ -1,0 +1,288 @@
+"""Failover-timeline and latency reporting from a recorded trace.
+
+Everything here is computed from :class:`~repro.obs.trace.TraceEvent`
+lists alone — never from live experiment objects — so the same numbers
+come out whether the events arrive in memory (the experiments call
+:func:`analyze_timeline` directly) or from a JSONL file on disk (the
+``python -m repro.obs.report`` CLI). That equivalence is what lets the
+sharding experiment's hard checks (downtime bound, (N-1)/N floor) run
+against trace-derived numbers and what the round-trip tests assert.
+
+Event vocabulary consumed (see DESIGN.md "Observability"):
+
+* ``fault.crash`` instants from ``<scope>.cluster`` — a primary died.
+* ``takeover`` spans from ``<scope>.cluster`` — detection to service
+  restoration, with ``bytes_restored`` in the attrs.
+* ``txn.complete`` instants from the router — one served transaction,
+  with ``shard`` and ``latency_us`` attrs.
+* ``txn.submit`` / ``txn.retry`` / ``txn.redirect`` / ``txn.drop``
+  instants — the router's routing lifecycle totals.
+
+Usage::
+
+    python -m repro.obs.report trace.jsonl --window-us 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.export import read_jsonl, write_chrome_trace
+from repro.obs.trace import TraceEvent, select_events
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Exact nearest-rank percentile of an already-sorted sequence."""
+    if not ordered:
+        return 0.0
+    rank = max(1, int(q * len(ordered) + 0.5))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass(frozen=True)
+class FailoverSpan:
+    """One shard's measured crash-to-recovery arc."""
+
+    scope: str  # component prefix, e.g. "shard.2" ("" for an unsharded pair)
+    crashed_node: str
+    crash_at_us: float
+    detected_at_us: float
+    restored_at_us: float
+    bytes_restored: int
+
+    @property
+    def shard_id(self) -> Optional[int]:
+        if self.scope.startswith("shard."):
+            tail = self.scope.split(".", 2)[1]
+            if tail.isdigit():
+                return int(tail)
+        return None
+
+    @property
+    def detection_us(self) -> float:
+        return self.detected_at_us - self.crash_at_us
+
+    @property
+    def takeover_us(self) -> float:
+        return self.restored_at_us - self.detected_at_us
+
+    @property
+    def downtime_us(self) -> float:
+        return self.restored_at_us - self.crash_at_us
+
+
+@dataclass
+class LatencySummary:
+    """Exact distribution summary of the router's transaction latencies."""
+
+    count: int = 0
+    mean_us: float = 0.0
+    p50_us: float = 0.0
+    p95_us: float = 0.0
+    max_us: float = 0.0
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "LatencySummary":
+        if not values:
+            return cls()
+        ordered = sorted(values)
+        return cls(
+            count=len(ordered),
+            mean_us=sum(ordered) / len(ordered),
+            p50_us=_percentile(ordered, 0.50),
+            p95_us=_percentile(ordered, 0.95),
+            max_us=ordered[-1],
+        )
+
+
+@dataclass
+class TimelineReport:
+    """A per-window failover timeline reconstructed from a trace."""
+
+    window_us: float
+    completions: List[float]  # completion timestamps, trace order
+    failovers: List[FailoverSpan]
+    routing: Dict[str, int]
+    latency: LatencySummary
+    per_shard_completions: Dict[int, int] = field(default_factory=dict)
+
+    # -- throughput ----------------------------------------------------------
+
+    def completions_between(self, start_us: float, stop_us: float) -> int:
+        return sum(1 for ts in self.completions if start_us <= ts < stop_us)
+
+    def window_counts(self, windows: int) -> List[int]:
+        return [
+            self.completions_between(i * self.window_us, (i + 1) * self.window_us)
+            for i in range(windows)
+        ]
+
+    def horizon_windows(self) -> int:
+        """Windows needed to cover the last completion."""
+        if not self.completions:
+            return 0
+        return int(max(self.completions) // self.window_us) + 1
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self) -> str:
+        lines: List[str] = []
+        title = (
+            f"Failover timeline ({len(self.completions)} completions, "
+            f"{self.window_us:.0f} us windows)"
+        )
+        lines.append(title)
+        lines.append("=" * len(title))
+        for span in self.failovers:
+            label = (
+                f"shard {span.shard_id}" if span.shard_id is not None
+                else (span.scope or "pair")
+            )
+            lines.append(
+                f"  {label}: crash of {span.crashed_node!r} at "
+                f"{span.crash_at_us / 1000:.2f} ms, detected "
+                f"+{span.detection_us:.0f} us, takeover "
+                f"{span.takeover_us / 1000:.2f} ms "
+                f"({span.bytes_restored:,} bytes restored), downtime "
+                f"{span.downtime_us / 1000:.2f} ms"
+            )
+        if not self.failovers:
+            lines.append("  no failover events in this trace")
+        lines.append("")
+        windows = self.horizon_windows()
+        marks: Dict[int, List[str]] = {}
+        for span in self.failovers:
+            marks.setdefault(int(span.crash_at_us // self.window_us), []).append(
+                "<- crash"
+            )
+            marks.setdefault(int(span.restored_at_us // self.window_us), []).append(
+                "<- restored"
+            )
+        for index, completed in enumerate(self.window_counts(windows)):
+            suffix = " ".join(marks.get(index, []))
+            lines.append(
+                f"  {index * self.window_us / 1000:>6.1f} ms  "
+                f"{completed:>4}  {'#' * completed} {suffix}".rstrip()
+            )
+        lines.append("")
+        lines.append(
+            f"  routing: {self.routing.get('routed', 0)} routed, "
+            f"{self.routing.get('completed', 0)} completed, "
+            f"{self.routing.get('retries', 0)} retries, "
+            f"{self.routing.get('redirects', 0)} redirects, "
+            f"{self.routing.get('dropped', 0)} dropped"
+        )
+        if self.latency.count:
+            lines.append(
+                f"  latency: mean {self.latency.mean_us:.0f} us, "
+                f"p50 {self.latency.p50_us:.0f} us, "
+                f"p95 {self.latency.p95_us:.0f} us, "
+                f"max {self.latency.max_us:.0f} us "
+                f"({self.latency.count} samples)"
+            )
+        if self.per_shard_completions:
+            shares = ", ".join(
+                f"shard {shard}: {count}"
+                for shard, count in sorted(self.per_shard_completions.items())
+            )
+            lines.append(f"  completions by shard: {shares}")
+        return "\n".join(lines)
+
+
+def analyze_timeline(
+    events: Sequence[TraceEvent], window_us: float = 1_000.0
+) -> TimelineReport:
+    """Reconstruct the timeline report from raw trace events."""
+    crashes = select_events(events, name="fault.crash")
+    takeovers = select_events(events, name="takeover")
+    failovers: List[FailoverSpan] = []
+    for takeover in takeovers:
+        scope = takeover.component.rsplit(".cluster", 1)[0]
+        if scope == takeover.component:  # component was plain "cluster"
+            scope = ""
+        crash = next(
+            (c for c in crashes if c.component == takeover.component), None
+        )
+        crash_at = crash.ts_us if crash is not None else takeover.ts_us
+        node = str(crash.attrs.get("node", "?")) if crash is not None else "?"
+        failovers.append(
+            FailoverSpan(
+                scope=scope,
+                crashed_node=node,
+                crash_at_us=crash_at,
+                detected_at_us=takeover.ts_us,
+                restored_at_us=takeover.end_us,
+                bytes_restored=int(takeover.attrs.get("bytes_restored", 0)),
+            )
+        )
+    failovers.sort(key=lambda span: span.crash_at_us)
+
+    completes = select_events(events, name="txn.complete")
+    latencies = [
+        float(event.attrs["latency_us"])
+        for event in completes
+        if "latency_us" in event.attrs
+    ]
+    per_shard: Dict[int, int] = {}
+    for event in completes:
+        if "shard" in event.attrs:
+            shard = int(event.attrs["shard"])
+            per_shard[shard] = per_shard.get(shard, 0) + 1
+    routing = {
+        "routed": len(select_events(events, name="txn.submit")),
+        "completed": len(completes),
+        "retries": len(select_events(events, name="txn.retry")),
+        "redirects": len(select_events(events, name="txn.redirect")),
+        "dropped": len(select_events(events, name="txn.drop")),
+    }
+    return TimelineReport(
+        window_us=window_us,
+        completions=[event.ts_us for event in completes],
+        failovers=failovers,
+        routing=routing,
+        latency=LatencySummary.from_values(latencies),
+        per_shard_completions=per_shard,
+    )
+
+
+def analyze_trace_file(
+    path: str, window_us: float = 1_000.0
+) -> TimelineReport:
+    """Load a JSONL trace and reconstruct its timeline report."""
+    events, _metrics = read_jsonl(path)
+    return analyze_timeline(events, window_us=window_us)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description=(
+            "Render a failover timeline (throughput per window, "
+            "detection/takeover/downtime spans) and latency summary "
+            "from a recorded JSONL trace."
+        ),
+    )
+    parser.add_argument("trace", help="path to a JSONL trace file")
+    parser.add_argument(
+        "--window-us", type=float, default=1_000.0,
+        help="throughput window width in simulated us (default 1000)",
+    )
+    parser.add_argument(
+        "--chrome-trace", metavar="PATH", default=None,
+        help="additionally convert the trace to Chrome trace_event "
+             "JSON at PATH (open in chrome://tracing or Perfetto)",
+    )
+    args = parser.parse_args(argv)
+    events, _metrics = read_jsonl(args.trace)
+    report = analyze_timeline(events, window_us=args.window_us)
+    print(report.render())
+    if args.chrome_trace:
+        write_chrome_trace(args.chrome_trace, events)
+        print(f"\n  chrome trace written to {args.chrome_trace}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

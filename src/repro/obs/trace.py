@@ -1,0 +1,139 @@
+"""Structured event tracing with simulated timestamps.
+
+A :class:`TraceEvent` is a typed record of one thing that happened at
+one simulated instant (``kind="instant"``) or over a span of simulated
+time (``kind="span"``, with ``dur_us``). Events carry the emitting
+*component* (a hierarchical dot name such as ``shard.2.cluster``) and
+free-form ``attrs``; the :mod:`repro.obs.report` reconstructions and
+the Chrome ``trace_event`` exporter both key off these fields, so the
+naming scheme in DESIGN.md is part of the contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+KIND_INSTANT = "instant"
+KIND_SPAN = "span"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence, in simulated microseconds."""
+
+    ts_us: float
+    component: str
+    name: str
+    kind: str = KIND_INSTANT
+    dur_us: float = 0.0
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_INSTANT, KIND_SPAN):
+            raise ValueError(f"unknown trace event kind {self.kind!r}")
+        if self.kind == KIND_INSTANT and self.dur_us:
+            raise ValueError("instant events carry no duration")
+        if self.dur_us < 0:
+            raise ValueError(f"negative span duration {self.dur_us}")
+
+    @property
+    def end_us(self) -> float:
+        return self.ts_us + self.dur_us
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "ts_us": self.ts_us,
+            "component": self.component,
+            "name": self.name,
+            "kind": self.kind,
+        }
+        if self.kind == KIND_SPAN:
+            record["dur_us"] = self.dur_us
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "TraceEvent":
+        return cls(
+            ts_us=float(record["ts_us"]),
+            component=str(record["component"]),
+            name=str(record["name"]),
+            kind=str(record.get("kind", KIND_INSTANT)),
+            dur_us=float(record.get("dur_us", 0.0)),
+            attrs=dict(record.get("attrs", {})),  # type: ignore[arg-type]
+        )
+
+
+class TraceRecorder:
+    """Append-only in-memory event log shared by every scoped observer.
+
+    Events are recorded in emission order, which for a discrete-event
+    simulation is timestamp order per component and globally
+    deterministic under a fixed seed — the exporter round-trip tests
+    rely on exactly this.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def instant(
+        self, ts_us: float, component: str, name: str, **attrs: object
+    ) -> TraceEvent:
+        event = TraceEvent(ts_us, component, name, KIND_INSTANT, 0.0, attrs)
+        self.events.append(event)
+        return event
+
+    def span(
+        self,
+        ts_us: float,
+        dur_us: float,
+        component: str,
+        name: str,
+        **attrs: object,
+    ) -> TraceEvent:
+        event = TraceEvent(ts_us, component, name, KIND_SPAN, dur_us, attrs)
+        self.events.append(event)
+        return event
+
+    # -- selection -----------------------------------------------------------
+
+    def select(
+        self,
+        name: Optional[str] = None,
+        component_prefix: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        """Events matching a name and/or a component prefix (dot-aware)."""
+        return select_events(self.events, name, component_prefix)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"TraceRecorder({len(self.events)} events)"
+
+
+def select_events(
+    events: Iterable[TraceEvent],
+    name: Optional[str] = None,
+    component_prefix: Optional[str] = None,
+) -> List[TraceEvent]:
+    """Filter ``events`` by exact name and/or component prefix."""
+    selected = []
+    for event in events:
+        if name is not None and event.name != name:
+            continue
+        if component_prefix is not None and not (
+            event.component == component_prefix
+            or event.component.startswith(component_prefix + ".")
+        ):
+            continue
+        selected.append(event)
+    return selected

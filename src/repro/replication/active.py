@@ -26,6 +26,7 @@ from repro.errors import FailoverError
 from repro.hardware.specs import SanSpec, MEMORY_CHANNEL_II
 from repro.memory.mapping import AddressSpace
 from repro.memory.rio import RioMemory
+from repro.obs.observer import resolve_observer
 from repro.san.memory_channel import MemoryChannelInterface
 from repro.replication.commit_safety import CommitSafety
 from repro.replication.redo_log import (
@@ -75,11 +76,13 @@ class ActiveReplicatedSystem:
         auto_apply: bool = True,
         primary_name: str = "primary",
         backup_name: str = "backup",
+        observer=None,
     ):
         self.config = config if config is not None else EngineConfig()
         self.san = san
         self.safety = safety
         self.auto_apply = auto_apply
+        self.observer = resolve_observer(observer)
 
         # Primary: a fully local Version 3 engine.
         self.primary_rio = RioMemory(primary_name)
@@ -95,8 +98,12 @@ class ActiveReplicatedSystem:
 
         # Primary -> backup: the ring. Backup -> primary: the consumer
         # pointer, written through the backup's own interface.
-        self.primary_interface = MemoryChannelInterface(primary_name, san)
-        self.backup_interface = MemoryChannelInterface(backup_name, san)
+        self.primary_interface = MemoryChannelInterface(
+            primary_name, san, observer=self.observer
+        )
+        self.backup_interface = MemoryChannelInterface(
+            backup_name, san, observer=self.observer
+        )
         self.consumer_region = self.primary_rio.create_region("consumer-seq", 8)
         ring_mapping = self.primary_interface.map_remote(self.ring, name="redo-ring")
         ack_mapping = self.backup_interface.map_remote(
@@ -160,6 +167,21 @@ class ActiveReplicatedSystem:
         self._txn_writes = []
         if self.safety is CommitSafety.TWO_SAFE or self.auto_apply:
             self.applier.apply_available()
+        if self.observer.enabled:
+            lag = self.producer.produced - self.applier.consumed
+            self.observer.count("replication.active.commits")
+            self.observer.count(
+                "replication.active.redo_records", len(redo.records)
+            )
+            self.observer.count(
+                "replication.active.redo_bytes", redo.wire_bytes()
+            )
+            self.observer.gauge("replication.active.ring_lag_bytes", lag)
+            self.observer.event(
+                "replication.active", "commit",
+                records=len(redo.records), wire_bytes=redo.wire_bytes(),
+                ring_lag_bytes=lag,
+            )
 
     def commit_transaction_losing_publish(self) -> None:
         """Commit locally but crash before the redo publish — the

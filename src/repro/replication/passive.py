@@ -30,6 +30,7 @@ from repro.hardware.specs import SanSpec, MEMORY_CHANNEL_II
 from repro.memory.mapping import AddressSpace
 from repro.memory.region import MemoryRegion
 from repro.memory.rio import RioMemory
+from repro.obs.observer import resolve_observer
 from repro.san.memory_channel import MemoryChannelInterface
 from repro.replication.writethrough import WriteThroughReplica
 from repro.vista.api import EngineConfig, TransactionEngine, HINT_RANDOM
@@ -52,11 +53,13 @@ class PassiveReplicatedSystem:
         ship_undo_log: bool = False,
         primary_name: str = "primary",
         backup_name: str = "backup",
+        observer=None,
     ):
         self.version = version
         self.config = config if config is not None else EngineConfig()
         self.san = san
         self.ship_undo_log = ship_undo_log
+        self.observer = resolve_observer(observer)
 
         self.primary_rio = RioMemory(primary_name)
         self.backup_rio = RioMemory(backup_name)
@@ -64,7 +67,9 @@ class PassiveReplicatedSystem:
         self.engine: TransactionEngine = engine_class(version).create(
             self.primary_rio, self.config, self.space
         )
-        self.interface = MemoryChannelInterface(primary_name, san)
+        self.interface = MemoryChannelInterface(
+            primary_name, san, observer=self.observer
+        )
         self.replica = WriteThroughReplica(self.interface, self.backup_rio)
 
         replicated = list(self.engine.REPLICATED)
@@ -80,6 +85,7 @@ class PassiveReplicatedSystem:
             fragmented_names=("mirror",),
         )
         self._failed_over = False
+        self._txn_wire_start = 0
 
     # -- data loading -----------------------------------------------------
 
@@ -95,6 +101,7 @@ class PassiveReplicatedSystem:
 
     def begin_transaction(self) -> None:
         self.engine.begin_transaction()
+        self._txn_wire_start = self.interface.bytes_sent
 
     def set_range(self, offset: int, length: int, hint: str = HINT_RANDOM) -> None:
         self.engine.set_range(offset, length, hint)
@@ -110,10 +117,20 @@ class PassiveReplicatedSystem:
         the wire, do not wait."""
         self.engine.commit_transaction()
         self.interface.barrier()
+        if self.observer.enabled:
+            doubled = self.interface.bytes_sent - self._txn_wire_start
+            self.observer.count("replication.passive.commits")
+            self.observer.count("replication.passive.wire_bytes", doubled)
+            self.observer.event(
+                "replication.passive", "commit",
+                version=self.version, wire_bytes=doubled,
+            )
 
     def abort_transaction(self) -> None:
         self.engine.abort_transaction()
         self.interface.barrier()
+        if self.observer.enabled:
+            self.observer.count("replication.passive.aborts")
 
     # -- failure and takeover ---------------------------------------------------
 

@@ -27,6 +27,7 @@ from repro.errors import CrashedError, NotMappedError
 from repro.hardware.specs import SanSpec, MEMORY_CHANNEL_II
 from repro.hardware.writebuffer import WriteBufferModel
 from repro.memory.region import MemoryRegion, WriteCategory
+from repro.obs.observer import resolve_observer
 from repro.san.packets import PacketTrace
 
 
@@ -137,14 +138,17 @@ class MemoryChannelInterface:
         san: SanSpec = MEMORY_CHANNEL_II,
         write_buffers: int = 6,
         write_buffer_bytes: int = 32,
+        observer=None,
     ):
         self.node_name = node_name
         self.san = san
         self.trace = PacketTrace()
+        self.observer = resolve_observer(observer)
+        self._metric_prefix = f"san.{node_name}"
         self.write_buffer = WriteBufferModel(
             num_buffers=write_buffers,
             block_bytes=write_buffer_bytes,
-            on_packet=self.trace.record,
+            on_packet=self.record_packet,
         )
         self._mappings: List[TransmitMapping] = []
         self._next_io_base = 0x8000_0000
@@ -171,6 +175,14 @@ class MemoryChannelInterface:
         return list(self._mappings)
 
     # -- transmission --------------------------------------------------------
+
+    def record_packet(self, size: int) -> None:
+        """Sink for write-buffer drains: accounts the packet in the
+        link-time trace and, when observed, in the metrics registry."""
+        self.trace.record(size)
+        if self.observer.enabled:
+            self.observer.count(f"{self._metric_prefix}.packets")
+            self.observer.count(f"{self._metric_prefix}.packet_bytes", size)
 
     def _check_alive(self) -> None:
         if self._crashed:
@@ -199,6 +211,13 @@ class MemoryChannelInterface:
         # mappings* is still per 32-byte block, which the disjoint
         # io_base values prevent from ever merging.
         self.io_stores += 1
+        if self.observer.enabled:
+            self.observer.count(f"{self._metric_prefix}.io_stores")
+            self.observer.count(f"{self._metric_prefix}.bytes", length)
+            self.observer.gauge(
+                f"{self._metric_prefix}.wb_open_buffers",
+                self.write_buffer.open_buffers,
+            )
         self.write_buffer.write(mapping.io_base + offset, length)
         # DMA into the remote physical memory (remote CPU uninvolved).
         mapping.remote.write(offset, data, category)

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional
 from repro.cluster.cluster import ReplicatedCluster, TakeoverReport
 from repro.cluster.membership import Membership
 from repro.errors import ConfigurationError, ShardUnavailableError
+from repro.obs.observer import resolve_observer
 from repro.shard.shardmap import ShardMap
 from repro.shard.workload import ShardedWorkload
 from repro.sim.engine import Simulator
@@ -55,13 +56,20 @@ class ShardedCluster:
         heartbeat_interval_us: float = 1_000.0,
         heartbeat_timeout_us: float = 5_000.0,
         restore_bytes_per_us: float = 300.0,
+        observer=None,
     ):
         if num_shards < 1:
             raise ConfigurationError("need at least one shard")
         self.num_shards = num_shards
-        self.sim = Simulator()
+        self.observer = resolve_observer(observer)
+        self.sim = Simulator(observer=self.observer)
         self.shard_map = ShardMap()
         self.pairs: List[ReplicatedCluster] = []
+        #: Per-shard scoped views of the observer ("shard.N.…" names).
+        self.shard_observers = [
+            self.observer.scoped(f"shard.{shard_id}")
+            for shard_id in range(num_shards)
+        ]
         node_names: List[str] = []
         for shard_id in range(num_shards):
             primary = f"shard{shard_id}/primary"
@@ -77,6 +85,7 @@ class ShardedCluster:
                 primary_name=primary,
                 backup_name=backup,
                 on_failover=functools.partial(self._pair_failed_over, shard_id),
+                observer=self.shard_observers[shard_id],
             )
             self.pairs.append(pair)
             self.shard_map.add_shard(primary, backup)
@@ -85,7 +94,9 @@ class ShardedCluster:
         self.config = self.pairs[0].config
         #: Cluster-wide view of every node; the most senior surviving
         #: node is the (purely administrative) cluster coordinator.
-        self.membership = Membership(members=node_names, primary=node_names[0])
+        self.membership = Membership(
+            members=node_names, primary=node_names[0], observer=self.observer
+        )
 
     # -- setup --------------------------------------------------------------
 
@@ -139,8 +150,17 @@ class ShardedCluster:
             restore_at = max(report.service_restored_at_us, self.sim.now)
             self.sim.schedule_at(
                 restore_at,
-                functools.partial(self.shard_map.mark_restored, shard_id),
+                functools.partial(self._mark_restored, shard_id),
                 name=f"shard{shard_id}-restored",
+            )
+
+    def _mark_restored(self, shard_id: int) -> None:
+        self.shard_map.mark_restored(shard_id)
+        shard_observer = self.shard_observers[shard_id]
+        if shard_observer.enabled:
+            shard_observer.event(
+                "cluster", "service.restored",
+                epoch=self.shard_map.entry(shard_id).epoch,
             )
 
     # -- progress -----------------------------------------------------------

@@ -30,6 +30,7 @@ from repro.errors import (
     ShardUnavailableError,
     StaleShardMapError,
 )
+from repro.obs.observer import resolve_observer
 from repro.shard.cluster import ShardedCluster
 from repro.shard.workload import ShardedWorkload
 
@@ -63,6 +64,7 @@ class Router:
         backoff_us: float = 250.0,
         backoff_factor: float = 2.0,
         max_backoff_us: float = 4_000.0,
+        observer=None,
     ):
         if workload.num_shards != cluster.num_shards:
             raise RoutingError(
@@ -78,6 +80,7 @@ class Router:
         self.backoff_factor = backoff_factor
         self.max_backoff_us = max_backoff_us
 
+        self.observer = resolve_observer(observer)
         self.map = cluster.shard_map.snapshot()
         self.routed = 0
         self.completed = 0
@@ -101,6 +104,11 @@ class Router:
                                    submitted_at_us=when)
         self.routed += 1
         self.transactions.append(record)
+        if self.observer.enabled:
+            self.observer.count("router.routed")
+            self.observer.event_at(
+                when, "router", "txn.submit", key=key, shard=shard_id
+            )
         self.cluster.sim.schedule_at(
             when, lambda: self._attempt(record), name="router-submit"
         )
@@ -124,12 +132,24 @@ class Router:
             # new entry either serves or reports the shard unavailable.
             self.redirects += 1
             self.map = self.cluster.shard_map.snapshot()
+            if self.observer.enabled:
+                self.observer.count("router.redirects")
+                self.observer.event(
+                    "router", "txn.redirect",
+                    shard=record.shard_id, stale_epoch=entry.epoch,
+                )
             record.attempts -= 1  # a redirect is not a service attempt
             self._attempt(record)
         except ShardUnavailableError:
             if record.attempts >= self.max_attempts:
                 record.dropped = True
                 self.dropped += 1
+                if self.observer.enabled:
+                    self.observer.count("router.dropped")
+                    self.observer.event(
+                        "router", "txn.drop",
+                        shard=record.shard_id, attempts=record.attempts,
+                    )
                 return
             self.retries += 1
             delay = min(
@@ -137,12 +157,28 @@ class Router:
                 * self.backoff_factor ** (record.attempts - 1),
                 self.max_backoff_us,
             )
+            if self.observer.enabled:
+                self.observer.count("router.retries")
+                self.observer.event(
+                    "router", "txn.retry",
+                    shard=record.shard_id, attempt=record.attempts,
+                    backoff_us=delay,
+                )
             self.cluster.sim.schedule_after(
                 delay, lambda: self._attempt(record), name="router-retry"
             )
         else:
             record.completed_at_us = self.cluster.sim.now
             self.completed += 1
+            if self.observer.enabled:
+                latency = record.completed_at_us - record.submitted_at_us
+                self.observer.count("router.completed")
+                self.observer.observe("router.latency_us", latency)
+                self.observer.event(
+                    "router", "txn.complete",
+                    shard=record.shard_id, latency_us=latency,
+                    attempts=record.attempts,
+                )
 
     # -- reporting ----------------------------------------------------------
 

@@ -10,12 +10,17 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.observer import resolve_observer
 from repro.sim.clock import VirtualClock
 from repro.sim.events import Event, EventQueue
 
 
 class Simulator:
     """Deterministic discrete-event simulator.
+
+    An attached observer (default: the no-op ``NULL_OBSERVER``) gets
+    this simulator's clock as its time source and sees per-event
+    counters and the queue depth; it never influences execution.
 
     Example:
         >>> sim = Simulator()
@@ -27,9 +32,11 @@ class Simulator:
         [5.0]
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, observer=None):
         self.clock = VirtualClock(start_time)
         self.queue = EventQueue()
+        self.observer = resolve_observer(observer)
+        self.observer.bind_clock(lambda: self.clock.now)
         self._running = False
         self._events_processed = 0
 
@@ -68,6 +75,9 @@ class Simulator:
             return False
         self.clock.advance_to(event.time)
         self._events_processed += 1
+        if self.observer.enabled:
+            self.observer.count("sim.events")
+            self.observer.gauge("sim.queue_depth", len(self.queue))
         event.action()
         return True
 

@@ -76,6 +76,21 @@ class AccessProfile:
         }
         return scaled
 
+    def snapshot_into(self, registry, prefix: str) -> None:
+        """Fold this profile into an obs registry under ``prefix``.
+
+        Working-set sizes and the per-set random/sequential footprints
+        become gauges (``<prefix>.random_lines.db``, ...), so locality
+        numbers live in the same namespace as every other metric.
+        Idempotent: re-snapshotting overwrites, never double-counts.
+        """
+        for name, size in self.working_set_bytes.items():
+            registry.gauge(f"{prefix}.working_set_bytes.{name}").set(size)
+        for name, lines in self.random_lines.items():
+            registry.gauge(f"{prefix}.random_lines.{name}").set(lines)
+        for name, nbytes in self.sequential_bytes.items():
+            registry.gauge(f"{prefix}.sequential_bytes.{name}").set(nbytes)
+
 
 @dataclass
 class EngineCounters:
@@ -111,3 +126,17 @@ class EngineCounters:
             for name in self.__dataclass_fields__
             if name != "transactions"
         }
+
+    def snapshot_into(self, registry, prefix: str) -> None:
+        """Fold these operation counts into an obs registry under
+        ``prefix`` (one counter per field, e.g. ``<prefix>.commits``).
+
+        This is the bridge that merges the engines' own bookkeeping
+        with the observability namespace: a report reads
+        ``shard.0.cluster.takeover.engine.rollback_bytes`` next to
+        ``shard.0.router.retries`` from one registry. Uses absolute
+        ``set`` semantics, so re-snapshotting the same counters is
+        idempotent rather than double-counting.
+        """
+        for name in self.__dataclass_fields__:
+            registry.counter(f"{prefix}.{name}").set(getattr(self, name))

@@ -62,8 +62,54 @@ def test_next_transaction_boundary():
 
 
 def test_fired_history():
-    injector = FaultInjector()
+    from repro.obs import NullObserver
+
+    # An explicit NullObserver: no clock, whatever REPRO_OBS says.
+    injector = FaultInjector(observer=NullObserver())
     plan = CrashPlan(after_transactions=1)
     injector.schedule(plan, lambda: None)
     injector.on_transaction_committed(1)
-    assert injector.fired == [plan]
+    assert [f.plan for f in injector.fired] == [plan]
+    record = injector.fired[0]
+    assert record.plan_repr == repr(plan)
+    assert record.at_transactions == 1
+    assert record.at_us is None  # no clock attached
+
+
+def test_time_trigger_records_sim_time():
+    injector = FaultInjector()
+    plan = CrashPlan(at_time_us=10.0)
+    injector.schedule(plan, lambda: None)
+    assert not injector.on_time(5.0)
+    assert injector.pending == 1
+    assert injector.on_time(12.5)
+    record = injector.fired[0]
+    assert record.plan is plan
+    assert record.at_us == 12.5
+    assert record.at_transactions is None
+    # A fired time plan never re-fires on later ticks.
+    assert not injector.on_time(100.0)
+    assert len(injector.fired) == 1
+
+
+def test_transaction_trigger_stamps_time_from_clock():
+    injector = FaultInjector(clock=lambda: 42.0)
+    injector.schedule(CrashPlan(after_transactions=1), lambda: None)
+    injector.on_transaction_committed(1)
+    assert injector.fired[0].at_us == 42.0
+
+
+def test_fired_plan_emits_crash_event():
+    from repro.obs import Observer
+
+    observer = Observer()
+    observer.bind_clock(lambda: 7.0)
+    injector = FaultInjector(observer=observer)
+    injector.schedule(CrashPlan(at_time_us=3.0), lambda: None)
+    injector.on_time(3.0)
+    events = observer.recorder.select(name="fault.crash")
+    assert len(events) == 1
+    assert events[0].ts_us == 3.0
+    assert events[0].component == "faults"
+    assert "at_time_us=3.0" in events[0].attrs["plan"]
+    assert observer.registry.value("faults.fired") == 1

@@ -1,0 +1,124 @@
+"""Timeline reconstruction and the report CLI."""
+
+from repro.obs import TraceEvent, analyze_timeline, write_jsonl
+from repro.obs.report import LatencySummary, main
+
+
+def _failover_events():
+    events = [
+        TraceEvent(2_500.0, "shard.1.cluster", "fault.crash",
+                   attrs={"node": "shard1/primary"}),
+        TraceEvent(3_100.0, "shard.1.cluster", "takeover", kind="span",
+                   dur_us=6_900.0, attrs={"bytes_restored": 2_070_000}),
+    ]
+    # Two completions per 1000 us window on shard 0, none on shard 1
+    # during its outage.
+    for window in range(12):
+        ts = window * 1_000.0 + 100.0
+        events.append(TraceEvent(ts, "router", "txn.submit",
+                                 attrs={"key": 0, "shard": 0}))
+        events.append(TraceEvent(ts + 50.0, "router", "txn.complete",
+                                 attrs={"shard": 0, "latency_us": 50.0}))
+    events.append(TraceEvent(2_600.0, "router", "txn.retry",
+                             attrs={"shard": 1, "attempt": 1}))
+    events.append(TraceEvent(2_600.0, "router", "txn.redirect",
+                             attrs={"shard": 1, "stale_epoch": 1}))
+    events.append(TraceEvent(11_000.0, "router", "txn.drop",
+                             attrs={"shard": 1, "attempts": 12}))
+    return events
+
+
+def test_analyze_timeline_reconstructs_failover():
+    report = analyze_timeline(_failover_events(), window_us=1_000.0)
+    assert len(report.failovers) == 1
+    span = report.failovers[0]
+    assert span.scope == "shard.1"
+    assert span.shard_id == 1
+    assert span.crashed_node == "shard1/primary"
+    assert span.crash_at_us == 2_500.0
+    assert span.detection_us == 600.0
+    assert span.takeover_us == 6_900.0
+    assert span.downtime_us == 7_500.0
+    assert span.restored_at_us == 10_000.0
+    assert report.routing == {
+        "routed": 12, "completed": 12, "retries": 1,
+        "redirects": 1, "dropped": 1,
+    }
+    assert report.per_shard_completions == {0: 12}
+    assert report.latency.count == 12
+    assert report.latency.p50_us == 50.0
+    assert report.window_counts(12) == [1] * 12
+    assert report.horizon_windows() == 12
+
+
+def test_takeover_without_crash_event_still_reports():
+    events = [
+        TraceEvent(5.0, "cluster", "takeover", kind="span", dur_us=10.0),
+    ]
+    report = analyze_timeline(events)
+    span = report.failovers[0]
+    assert span.scope == ""  # an unsharded pair
+    assert span.shard_id is None
+    assert span.crashed_node == "?"
+    assert span.crash_at_us == 5.0  # falls back to detection time
+    assert span.bytes_restored == 0
+
+
+def test_render_marks_crash_and_recovery():
+    text = analyze_timeline(_failover_events(), window_us=1_000.0).render()
+    assert "shard 1: crash of 'shard1/primary' at 2.50 ms" in text
+    assert "detected +600 us" in text
+    assert "downtime 7.50 ms" in text
+    assert "<- crash" in text
+    assert "<- restored" in text
+    assert "12 routed" in text
+    assert "latency: mean 50 us" in text
+    assert "completions by shard: shard 0: 12" in text
+
+
+def test_render_without_failovers():
+    events = [TraceEvent(10.0, "router", "txn.complete",
+                         attrs={"shard": 0, "latency_us": 10.0})]
+    text = analyze_timeline(events).render()
+    assert "no failover events in this trace" in text
+
+
+def test_latency_summary_percentiles_are_exact():
+    summary = LatencySummary.from_values(list(range(1, 101)))
+    assert summary.p50_us == 50
+    assert summary.p95_us == 95
+    assert summary.max_us == 100
+    assert LatencySummary.from_values([]) == LatencySummary()
+
+
+def test_cli_renders_and_converts(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    write_jsonl(trace, _failover_events())
+    chrome = tmp_path / "t.chrome.json"
+    assert main([str(trace), "--window-us", "1000",
+                 "--chrome-trace", str(chrome)]) == 0
+    out = capsys.readouterr().out
+    assert "Failover timeline" in out
+    assert "downtime 7.50 ms" in out
+    assert chrome.exists()
+    assert "chrome trace written" in out
+
+
+def test_cli_module_entrypoint(tmp_path):
+    import os
+    import pathlib
+    import subprocess
+    import sys
+
+    import repro
+
+    src = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ, PYTHONPATH=src)
+    trace = tmp_path / "t.jsonl"
+    write_jsonl(trace, _failover_events())
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.obs.report", str(trace)],
+        capture_output=True, text=True, env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "Failover timeline" in proc.stdout
