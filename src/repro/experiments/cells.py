@@ -1,0 +1,188 @@
+"""Cell plans for the process-parallel experiment runner.
+
+The experiments share one :class:`~repro.experiments.common.
+ExperimentContext` cache, and every cache entry — a *cell* — is a pure
+function of the :class:`ExperimentSettings` (each cell builds a fresh
+system and a fresh seeded workload). That makes cells safe to compute
+in worker processes: the runner fans the plan over a pool, installs
+the returned ``RunResult`` objects via ``ctx.preload()``, and renders
+the experiments sequentially in-process, so the output is byte for
+byte what a sequential run prints, at any ``--jobs`` value.
+
+The plan is advisory, not load-bearing: a cell missing from the plan
+(say, after an experiment module grows a new configuration) is simply
+computed inline by the rendering pass, exactly as without ``--jobs``.
+
+Two task shapes exist:
+
+* *cells* — driven workload runs, keyed exactly like the context
+  cache (``("passive", version, workload, nominal, ship_undo_log,
+  coalescing)`` and friends);
+* *SMP simulation memos* — the discrete-event validations behind the
+  ``smp-validation`` extension, which dominate a full-grid run's
+  wall-clock and are pure functions of an already-measured cell plus
+  the calibrated per-transaction CPU time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.experiments.common import (
+    MB,
+    PAPER_DB_BYTES,
+    ExperimentContext,
+    ExperimentSettings,
+)
+
+WORKLOADS = ("debit-credit", "order-entry")
+VERSIONS = ("v0", "v1", "v2", "v3")
+STREAM_DB_BYTES = 10 * MB
+
+#: A cell spec: (kind, full argument tuple of the context method).
+CellSpec = Tuple[str, tuple]
+
+#: Anchors for :meth:`ExperimentContext.calibration`.
+CALIBRATION_CELLS: List[CellSpec] = [
+    ("standalone", ("v3", workload, PAPER_DB_BYTES)) for workload in WORKLOADS
+]
+
+_SMP_CONFIGS = ("active", "passive-v3", "passive-v1")
+_SMP_PROCESSORS = (1, 2, 3, 4)
+_SMP_DURATION_US = 20_000.0
+
+
+def _experiment_cells(key: str) -> List[CellSpec]:
+    """The driven-run cells experiment ``key`` reads from the cache."""
+    paper, stream = PAPER_DB_BYTES, STREAM_DB_BYTES
+    cells: List[CellSpec] = []
+    if key == "table1":
+        for workload in WORKLOADS:
+            cells.append(("standalone", ("v0", workload, paper)))
+            cells.append(("passive", ("v0", workload, paper, False, True)))
+    elif key == "table3":
+        for workload in WORKLOADS:
+            for version in VERSIONS:
+                cells.append(("standalone", (version, workload, paper)))
+    elif key == "table4":
+        for workload in WORKLOADS:
+            for version in VERSIONS:
+                cells.append(("passive", (version, workload, paper, False, True)))
+    elif key == "table6":
+        for workload in WORKLOADS:
+            cells.append(("passive", ("v3", workload, paper, False, True)))
+            cells.append(("active", (workload, paper, True)))
+    elif key == "table8":
+        for workload in WORKLOADS:
+            for nominal in (10 * MB, 100 * MB, 1024 * MB):
+                cells.append(("active", (workload, nominal, True)))
+    elif key == "figures2-3":
+        for workload in WORKLOADS:
+            cells.append(("active", (workload, stream, True)))
+            for version in ("v3", "v2", "v1"):
+                cells.append(("passive", (version, workload, stream, False, True)))
+    elif key == "ablations":
+        for workload in WORKLOADS:
+            cells.append(("passive", ("v3", workload, paper, False, True)))
+            cells.append(("passive", ("v3", workload, paper, False, False)))
+            cells.append(("active", (workload, paper, True)))
+            cells.append(("passive", ("v1", workload, paper, False, True)))
+            cells.append(("passive", ("v1", workload, paper, True, True)))
+    elif key == "smp-validation":
+        for workload in WORKLOADS:
+            cells.append(("active", (workload, stream, True)))
+            cells.append(("passive", ("v3", workload, stream, False, True)))
+            cells.append(("passive", ("v1", workload, stream, False, True)))
+    elif key == "sensitivity":
+        for workload in WORKLOADS:
+            cells.append(("standalone", ("v3", workload, paper)))
+            cells.append(("standalone", ("v0", workload, paper)))
+            for version in VERSIONS:
+                cells.append(("passive", (version, workload, paper, False, True)))
+            cells.append(("active", (workload, paper, True)))
+    elif key == "sharding":
+        cells.append(("active", ("debit-credit", None, True)))
+    # figure1 / recovery build their own clusters and read no cells.
+    return cells
+
+
+#: Experiments that never call ``ctx.estimator()``.
+_NO_CALIBRATION = frozenset({"figure1", "recovery"})
+
+
+def plan_for(experiment_keys: Iterable[str]) -> List[CellSpec]:
+    """Deduplicated cell plan for the selected experiments, in a
+    deterministic order (calibration anchors first, since every
+    estimator call needs them)."""
+    keys = list(experiment_keys)
+    plan: List[CellSpec] = []
+    if any(key not in _NO_CALIBRATION for key in keys):
+        plan.extend(CALIBRATION_CELLS)
+    for key in keys:
+        plan.extend(_experiment_cells(key))
+    seen = set()
+    deduped = []
+    for spec in plan:
+        if spec not in seen:
+            seen.add(spec)
+            deduped.append(spec)
+    return deduped
+
+
+def cache_key(spec: CellSpec) -> Tuple:
+    """The context-cache key this spec's result lands under."""
+    kind, args = spec
+    return (kind,) + tuple(args)
+
+
+def compute_cell(task: Tuple[ExperimentSettings, CellSpec]):
+    """Pool worker: measure one cell in a fresh context.
+
+    Returns ``(cache_key, RunResult)`` — both picklable, and identical
+    to what the main process would compute (fresh system, fresh seeded
+    workload, same settings).
+    """
+    settings, spec = task
+    ctx = ExperimentContext(settings)
+    kind, args = spec
+    method = {
+        "standalone": ctx.standalone_result,
+        "passive": ctx.passive_result,
+        "active": ctx.active_result,
+    }[kind]
+    return cache_key(spec), method(*args)
+
+
+def smp_sim_tasks(ctx: ExperimentContext) -> List[tuple]:
+    """Build the SMP discrete-event simulation tasks.
+
+    Must run *after* the cells are preloaded: each task carries the
+    measured ``RunResult`` and the calibrated per-transaction CPU time
+    its simulation needs, so workers do no redundant measuring."""
+    estimator = ctx.estimator()
+    tasks = []
+    for workload in WORKLOADS:
+        for config in _SMP_CONFIGS:
+            if config == "active":
+                result = ctx.active_result(workload, STREAM_DB_BYTES)
+                report = estimator.active(result)
+            else:
+                version = config.split("-")[1]
+                result = ctx.passive_result(version, workload, STREAM_DB_BYTES)
+                report = estimator.passive(result)
+            for processors in _SMP_PROCESSORS:
+                key = ("smp-sim", workload, config, processors, _SMP_DURATION_US)
+                tasks.append((key, result, report.cpu_us, processors))
+    return tasks
+
+
+def compute_smp_sim(task: tuple):
+    """Pool worker: one discrete-event SMP simulation point."""
+    from repro.perf.smp_sim import simulate_from_run
+
+    key, result, cpu_us, processors = task
+    simulated = simulate_from_run(
+        result, cpu_us=cpu_us, processors=processors,
+        duration_us=_SMP_DURATION_US,
+    )
+    return key, simulated

@@ -80,9 +80,12 @@ def run(ctx: ExperimentContext, configs=("active", "passive-v3", "passive-v1"),
                 # emerge from the simulation. The closed form is the
                 # conservative side at one CPU (it charges a partial
                 # overlap penalty; pure backpressure hides more).
-                simulated = simulate_from_run(
-                    result, cpu_us=report.cpu_us,
-                    processors=processors, duration_us=duration_us,
+                simulated = ctx.memo(
+                    ("smp-sim", workload, config, processors, duration_us),
+                    lambda: simulate_from_run(
+                        result, cpu_us=report.cpu_us,
+                        processors=processors, duration_us=duration_us,
+                    ),
                 )
                 points.append((analytic, simulated.aggregate_tps))
             curves[workload][config] = points

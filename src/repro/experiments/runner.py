@@ -5,14 +5,27 @@ Installed as the ``repro-experiments`` console script::
     repro-experiments                # everything
     repro-experiments table4 fig2   # a subset
     repro-experiments --transactions 5000   # higher fidelity
+    repro-experiments --jobs 4      # fan cells over 4 processes
+    repro-experiments --no-fastpath # reference slow path (golden check)
+    repro-experiments --profile out.txt   # cProfile one hot cell
+
+``--jobs N`` computes the independent measurement cells in worker
+processes, then renders every table in-process from the preloaded
+cache — the printed output is byte-identical at any job count.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
+import os
+import pstats
 import sys
 import time
 from typing import Callable, Dict, List
+
+from repro import fastpath
 
 from repro.experiments import (
     ablations,
@@ -121,6 +134,54 @@ ALIASES = {
 }
 
 
+def _precompute(ctx: ExperimentContext, resolved: List[str], jobs: int) -> None:
+    """Fan the selected experiments' measurement cells (and the SMP
+    discrete-event simulations) over ``jobs`` worker processes, then
+    seed the context cache. Rendering afterwards only reads the cache
+    (falling back to inline computation for any cell the plan missed),
+    so the printed tables are byte-identical to a sequential run."""
+    from repro.experiments import cells
+    from repro.fastpath.parallel import run_tasks
+
+    plan = cells.plan_for(resolved)
+    computed = run_tasks(
+        cells.compute_cell, [(ctx.settings, spec) for spec in plan], jobs
+    )
+    ctx.preload(cells=dict(computed))
+    if "smp-validation" in resolved:
+        sims = run_tasks(cells.compute_smp_sim, cells.smp_sim_tasks(ctx), jobs)
+        ctx.preload(memos=dict(sims))
+
+
+def _profile_cell(args) -> int:
+    """cProfile one representative hot cell and report the top 25
+    functions by internal time (the CI perf artifact)."""
+    from repro.experiments.common import PAPER_DB_BYTES
+
+    settings = ExperimentSettings(transactions=args.transactions, seed=args.seed)
+    ctx = ExperimentContext(settings)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    ctx.passive_result("v3", "debit-credit", PAPER_DB_BYTES)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("tottime").print_stats(25)
+    report = (
+        f"# cProfile: passive v3 debit-credit @ 50 MB nominal, "
+        f"{args.transactions} transactions, "
+        f"fastpath={'off' if args.no_fastpath else 'on'}\n"
+        + buffer.getvalue()
+    )
+    if args.profile == "-":
+        print(report, end="")
+    else:
+        with open(args.profile, "w") as handle:
+            handle.write(report)
+        print(f"[profile written to {args.profile}]")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Reproduce the tables and figures of Amza et al., "
@@ -137,7 +198,31 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--seed", type=int, default=42, help="workload RNG seed"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="compute measurement cells across N worker processes "
+        "(output stays byte-identical; default 1 = sequential)",
+    )
+    parser.add_argument(
+        "--no-fastpath", action="store_true",
+        help="disable the batched store pipeline and replay cache; "
+        "the reference path for golden-output comparison",
+    )
+    parser.add_argument(
+        "--profile", nargs="?", const="-", default=None, metavar="PATH",
+        help="instead of running the grid, cProfile one representative "
+        "cell (passive v3 debit-credit at the paper's 50 MB database) "
+        "and write the top-25 functions to PATH (stdout if omitted)",
+    )
     args = parser.parse_args(argv)
+
+    if args.no_fastpath:
+        # The env var covers worker processes too (spawn or fork).
+        os.environ["REPRO_FASTPATH"] = "0"
+        fastpath.set_enabled(False)
+
+    if args.profile is not None:
+        return _profile_cell(args)
 
     names = args.experiments or list(EXPERIMENTS)
     resolved = []
@@ -154,6 +239,8 @@ def main(argv=None) -> int:
     settings = ExperimentSettings(transactions=args.transactions, seed=args.seed)
     ctx = ExperimentContext(settings)
     started = time.time()
+    if args.jobs > 1:
+        _precompute(ctx, resolved, args.jobs)
     for key in resolved:
         for block in EXPERIMENTS[key](ctx):
             print(block)

@@ -23,11 +23,23 @@ scattered 4-byte database writes expensive (~14 MB/s).
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Tuple
 
 BLOCK_BYTES_DEFAULT = 32
+
+try:  # py >= 3.10
+    _popcount = int.bit_count
+except AttributeError:  # pragma: no cover - exercised on py3.9 CI
+    _POP16 = [bin(value).count("1") for value in range(1 << 16)]
+
+    def _popcount(mask: int) -> int:
+        count = 0
+        while mask:
+            count += _POP16[mask & 0xFFFF]
+            mask >>= 16
+        return count
 
 
 @dataclass
@@ -43,7 +55,7 @@ class _OpenBuffer:
         self.written |= span << lo
 
     def byte_count(self) -> int:
-        return bin(self.written).count("1")
+        return _popcount(self.written)
 
 
 class WriteBufferModel:
@@ -72,7 +84,8 @@ class WriteBufferModel:
         self._open: "OrderedDict[int, _OpenBuffer]" = OrderedDict()
         self.packets_emitted = 0
         self.bytes_emitted = 0
-        self._histogram: dict = {}
+        self._histogram: Counter = Counter()
+        self._full_mask = (1 << block_bytes) - 1
 
     # -- store stream ---------------------------------------------------
 
@@ -94,29 +107,90 @@ class WriteBufferModel:
         if buffer is None:
             if len(self._open) >= self.num_buffers:
                 # FIFO displacement: drain the oldest open buffer.
-                _, oldest = next(iter(self._open.items()))
-                self._drain(oldest)
+                _, oldest = self._open.popitem(last=False)
+                self._emit(oldest)
             buffer = _OpenBuffer(block)
             self._open[block] = buffer
-        buffer.add(lo, hi)
-        if buffer.byte_count() == self.block_bytes:
-            self._drain(buffer)
+        buffer.written |= ((1 << (hi - lo)) - 1) << lo
+        if buffer.written == self._full_mask:
+            del self._open[block]
+            self._emit(buffer)
+
+    def write_batch(self, stores: Iterable[Tuple[int, int]]) -> None:
+        """Record a whole batch of (address, length) stores.
+
+        Semantically identical to calling :meth:`write` once per store
+        in order — same packets, same statistics — but with the block
+        loop inlined and every per-store attribute lookup hoisted out,
+        which is what makes the batched store pipeline cheap.
+        """
+        block_bytes = self.block_bytes
+        num_buffers = self.num_buffers
+        full_mask = self._full_mask
+        open_ = self._open
+        get = open_.get
+        for address, length in stores:
+            if length <= 0:
+                continue
+            end = address + length
+            while address < end:
+                block = address // block_bytes
+                base = block * block_bytes
+                lo = address - base
+                hi = end - base
+                if hi > block_bytes:
+                    hi = block_bytes
+                buffer = get(block)
+                if buffer is None:
+                    if len(open_) >= num_buffers:
+                        _, oldest = open_.popitem(last=False)
+                        self._emit(oldest)
+                    buffer = _OpenBuffer(block)
+                    open_[block] = buffer
+                buffer.written |= ((1 << (hi - lo)) - 1) << lo
+                if buffer.written == full_mask:
+                    del open_[block]
+                    self._emit(buffer)
+                address = base + block_bytes
 
     def barrier(self) -> None:
         """Flush all open buffers (a memory barrier / commit point)."""
-        for buffer in list(self._open.values()):
-            self._drain(buffer)
+        open_ = self._open
+        while open_:
+            _, buffer = open_.popitem(last=False)
+            self._emit(buffer)
 
     def _drain(self, buffer: _OpenBuffer) -> None:
         self._open.pop(buffer.block, None)
-        size = buffer.byte_count()
+        self._emit(buffer)
+
+    def _emit(self, buffer: _OpenBuffer) -> None:
+        size = _popcount(buffer.written)
         if size == 0:
             return
         self.packets_emitted += 1
         self.bytes_emitted += size
-        self._histogram[size] = self._histogram.get(size, 0) + 1
+        self._histogram[size] += 1
         if self.on_packet is not None:
             self.on_packet(size)
+
+    def account_replayed(self, sizes: Iterable[int], total_bytes: int) -> None:
+        """Credit packets produced by a replay-cache hit.
+
+        The fast path computed (or looked up) the packet sequence a
+        store schedule drains into without running :meth:`write`; this
+        folds those packets into the model's own statistics so its
+        counters stay byte-identical with the slow path. The caller is
+        responsible for the schedule having started *and* ended with no
+        open buffers (a barrier-terminated batch).
+        """
+        sizes = tuple(sizes)
+        self.packets_emitted += len(sizes)
+        self.bytes_emitted += total_bytes
+        self._histogram.update(sizes)
+        if self.on_packet is not None:
+            for size in sizes:
+                self.on_packet(size)
 
     # -- inspection -----------------------------------------------------
 

@@ -34,6 +34,11 @@ class WriteCategory(enum.Enum):
     UNDO = "undo"
     META = "meta"
 
+    # Identity hash (members are singletons, so equality already is
+    # identity): Enum.__hash__ is a Python-level method, and traffic
+    # accounting hashes a category four times per doubled store.
+    __hash__ = object.__hash__
+
 
 @dataclass(frozen=True)
 class WriteEvent:
@@ -52,6 +57,11 @@ class WriteEvent:
 
 Observer = Callable[[WriteEvent], None]
 
+#: Fast write observer: called as ``fn(offset, length, category)``
+#: without building a WriteEvent — the per-store allocation matters on
+#: the write-doubling hot path (millions of calls per experiment run).
+FastObserver = Callable[[int, int, WriteCategory], None]
+
 
 class MemoryRegion:
     """A contiguous, bounds-checked byte array with write observers."""
@@ -64,6 +74,7 @@ class MemoryRegion:
         self.base = base
         self.data = bytearray(size)
         self._observers: List[Observer] = []
+        self._fast_observers: List[FastObserver] = []
         self._protected = False
         self._crashed = False
         self._window: Optional[tuple] = None
@@ -78,6 +89,14 @@ class MemoryRegion:
 
     def remove_observer(self, observer: Observer) -> None:
         self._observers.remove(observer)
+
+    def add_fast_observer(self, observer: FastObserver) -> None:
+        """Register a callable invoked as ``fn(offset, length,
+        category)`` after every write (no WriteEvent built)."""
+        self._fast_observers.append(observer)
+
+    def remove_fast_observer(self, observer: FastObserver) -> None:
+        self._fast_observers.remove(observer)
 
     # -- protection (Rio semantics) --------------------------------------
 
@@ -137,6 +156,9 @@ class MemoryRegion:
         self.data[offset : offset + length] = data
         self.writes_observed += 1
         self.bytes_written += length
+        if self._fast_observers:
+            for fast_observer in self._fast_observers:
+                fast_observer(offset, length, category)
         if self._observers:
             event = WriteEvent(self, offset, length, category)
             for observer in self._observers:

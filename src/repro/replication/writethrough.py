@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from repro import fastpath as _fastpath
 from repro.memory.region import MemoryRegion, WriteEvent
 from repro.memory.rio import RioMemory
 from repro.san.memory_channel import MemoryChannelInterface, TransmitMapping
@@ -42,19 +43,45 @@ class ReplicaBinding:
         self.mapping = mapping
         self.fragmented = fragmented
         self.forwarded_writes = 0
-        local.add_observer(self._on_write)
+        # The fast-observer form skips the per-store WriteEvent
+        # allocation — this callback runs once per write of every
+        # replicated region, the hottest call site in the repo.
+        local.add_fast_observer(self._forward)
+
+    def _forward(self, offset: int, length: int, category) -> None:
+        mapping = self.mapping
+        if (
+            not self.fragmented
+            and _fastpath.enabled()
+            and not mapping.interface.observer.enabled
+        ):
+            # Fast lane: the local write that triggered this callback
+            # was bounds-checked against a region the same size as the
+            # window, so skip re-validation and the per-store call
+            # chain (mapping.write -> _transmit). Accounting and data
+            # movement are identical.
+            mapping.interface._transmit_trusted(
+                mapping,
+                offset,
+                self.local.data[offset : offset + length],
+                category,
+            )
+        else:
+            data = self.local.read(offset, length)
+            if self.fragmented:
+                mapping.write_uncoalesced(offset, data, category)
+            else:
+                mapping.write(offset, data, category)
+        self.forwarded_writes += 1
 
     def _on_write(self, event: WriteEvent) -> None:
-        data = self.local.read(event.offset, event.length)
-        if self.fragmented:
-            self.mapping.write_uncoalesced(event.offset, data, event.category)
-        else:
-            self.mapping.write(event.offset, data, event.category)
-        self.forwarded_writes += 1
+        """Classic observer form, kept for callers that already hold a
+        WriteEvent (tests, manual forwarding)."""
+        self._forward(event.offset, event.length, event.category)
 
     def detach(self) -> None:
         try:
-            self.local.remove_observer(self._on_write)
+            self.local.remove_fast_observer(self._forward)
         except ValueError:
             pass  # a node crash already cleared the region's observers
 

@@ -23,12 +23,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import fastpath as _fastpath
 from repro.errors import CrashedError, NotMappedError
+from repro.fastpath.replay import GLOBAL_REPLAY_CACHE
 from repro.hardware.specs import SanSpec, MEMORY_CHANNEL_II
 from repro.hardware.writebuffer import WriteBufferModel
 from repro.memory.region import MemoryRegion, WriteCategory
 from repro.obs.observer import resolve_observer
 from repro.san.packets import PacketTrace
+
+#: Cap on deferred stores held per interface before a partial drain;
+#: bounds memory for barrier-free streams (the redo ring's).
+_PENDING_LIMIT = 8192
 
 
 class TransmitMapping:
@@ -142,7 +148,7 @@ class MemoryChannelInterface:
     ):
         self.node_name = node_name
         self.san = san
-        self.trace = PacketTrace()
+        self._trace = PacketTrace()
         self.observer = resolve_observer(observer)
         self._metric_prefix = f"san.{node_name}"
         self.write_buffer = WriteBufferModel(
@@ -155,6 +161,13 @@ class MemoryChannelInterface:
         self._crashed = False
         self.io_stores = 0  # number of I/O-space store instructions issued
         self.bytes_by_category: Dict[WriteCategory, int] = {}
+        # Fast path: stores whose write-buffer simulation is deferred
+        # to the next barrier / statistics read (same order, same
+        # packets). _pending_start_empty remembers whether the buffers
+        # were drained when the batch began, which is what makes the
+        # batch replay-cacheable as a pure function.
+        self._pending: List[Tuple[int, int]] = []
+        self._pending_start_empty = False
 
     # -- mapping management ------------------------------------------------
 
@@ -176,13 +189,28 @@ class MemoryChannelInterface:
 
     # -- transmission --------------------------------------------------------
 
+    @property
+    def trace(self) -> PacketTrace:
+        """The packet trace; reading it settles any deferred stores so
+        the histogram is exactly what the slow path would show."""
+        self._flush_pending()
+        return self._trace
+
     def record_packet(self, size: int) -> None:
         """Sink for write-buffer drains: accounts the packet in the
         link-time trace and, when observed, in the metrics registry."""
-        self.trace.record(size)
+        self._trace.record(size)
         if self.observer.enabled:
             self.observer.count(f"{self._metric_prefix}.packets")
             self.observer.count(f"{self._metric_prefix}.packet_bytes", size)
+
+    def _flush_pending(self) -> None:
+        """Push deferred stores through the write buffers (in original
+        order) without draining them — packets fall out exactly where
+        buffer fills and FIFO displacement would have emitted them."""
+        if self._pending:
+            pending, self._pending = self._pending, []
+            self.write_buffer.write_batch(pending)
 
     def _check_alive(self) -> None:
         if self._crashed:
@@ -211,14 +239,26 @@ class MemoryChannelInterface:
         # mappings* is still per 32-byte block, which the disjoint
         # io_base values prevent from ever merging.
         self.io_stores += 1
-        if self.observer.enabled:
-            self.observer.count(f"{self._metric_prefix}.io_stores")
-            self.observer.count(f"{self._metric_prefix}.bytes", length)
-            self.observer.gauge(
-                f"{self._metric_prefix}.wb_open_buffers",
-                self.write_buffer.open_buffers,
-            )
-        self.write_buffer.write(mapping.io_base + offset, length)
+        if _fastpath.enabled() and not self.observer.enabled:
+            # Batched store pipeline: defer the write-buffer simulation
+            # to the next barrier (or statistics read). Data movement
+            # and byte accounting stay inline; only the packet-formation
+            # loop moves out of the per-store path.
+            pending = self._pending
+            if not pending:
+                self._pending_start_empty = not self.write_buffer.open_buffers
+            pending.append((mapping.io_base + offset, length))
+            if len(pending) >= _PENDING_LIMIT:
+                self._flush_pending()
+        else:
+            if self.observer.enabled:
+                self.observer.count(f"{self._metric_prefix}.io_stores")
+                self.observer.count(f"{self._metric_prefix}.bytes", length)
+                self.observer.gauge(
+                    f"{self._metric_prefix}.wb_open_buffers",
+                    self.write_buffer.open_buffers,
+                )
+            self.write_buffer.write(mapping.io_base + offset, length)
         # DMA into the remote physical memory (remote CPU uninvolved).
         mapping.remote.write(offset, data, category)
         mapping.bytes_sent += length
@@ -228,6 +268,50 @@ class MemoryChannelInterface:
         self.bytes_by_category[category] = (
             self.bytes_by_category.get(category, 0) + length
         )
+
+    def _transmit_trusted(
+        self,
+        mapping: TransmitMapping,
+        offset: int,
+        data,
+        category: WriteCategory,
+    ) -> None:
+        """Fast-lane transmit for pre-validated senders (the write
+        doubling bindings): the mapping is known installed and the
+        store known in-bounds, because it mirrors a local write that
+        was just bounds-checked against the same-size twin. Identical
+        accounting and data movement to :meth:`_transmit`; only the
+        re-validation and the per-store call chain are skipped.
+        """
+        if self._crashed:
+            self._check_alive()
+        length = len(data)
+        if length == 0:
+            return
+        self.io_stores += 1
+        pending = self._pending
+        if not pending:
+            self._pending_start_empty = not self.write_buffer.open_buffers
+        pending.append((mapping.io_base + offset, length))
+        if len(pending) >= _PENDING_LIMIT:
+            self._flush_pending()
+        remote = mapping.remote
+        if (
+            remote._observers
+            or remote._fast_observers
+            or remote._protected
+            or remote._crashed
+        ):
+            remote.write(offset, bytes(data), category)
+        else:
+            remote.data[offset : offset + length] = data
+            remote.writes_observed += 1
+            remote.bytes_written += length
+        mapping.bytes_sent += length
+        by_category = mapping.bytes_by_category
+        by_category[category] = by_category.get(category, 0) + length
+        by_category = self.bytes_by_category
+        by_category[category] = by_category.get(category, 0) + length
 
     def _transmit_uncoalesced(
         self,
@@ -242,20 +326,37 @@ class MemoryChannelInterface:
         for cursor in range(0, len(data), word_bytes):
             chunk = data[cursor : cursor + word_bytes]
             self._transmit(mapping, offset + cursor, chunk, category)
-            self.write_buffer.barrier()
+            self.barrier()
 
     def barrier(self) -> None:
         """Drain the write buffers (commit-ordering point)."""
+        pending = self._pending
+        if pending and self._pending_start_empty:
+            # The whole batch ran buffers-empty to barrier: a pure
+            # store schedule. Replay its packet sequence from the
+            # cache (simulating it once on a miss).
+            self._pending = []
+            buffer = self.write_buffer
+            sizes, total_bytes = GLOBAL_REPLAY_CACHE.drain_sizes(
+                pending, buffer.num_buffers, buffer.block_bytes
+            )
+            buffer.account_replayed(sizes, total_bytes)
+            return
+        self._flush_pending()
         self.write_buffer.barrier()
 
     # -- failure ---------------------------------------------------------------
 
     def crash(self) -> None:
         """Take the interface down with its node."""
+        # Settle deferred stores first: they hit the wire before the
+        # crash, so their displacement packets belong in the trace.
+        self._flush_pending()
         self._crashed = True
 
     def reboot(self) -> None:
         self._crashed = False
+        self._pending.clear()
         self.write_buffer.reset()
 
     # -- statistics --------------------------------------------------------------
@@ -269,7 +370,10 @@ class MemoryChannelInterface:
         return self.trace.link_time_us(self.san)
 
     def reset_stats(self) -> None:
-        self.trace.clear()
+        # Deferred stores are simply dropped: the slow path would have
+        # simulated them into state this method clears anyway.
+        self._pending.clear()
+        self._trace.clear()
         self.write_buffer.reset()
         self.io_stores = 0
         self.bytes_by_category.clear()

@@ -55,6 +55,15 @@ class AccessProfile:
             self.sequential_bytes.get(name, 0.0) + nbytes
         )
 
+    def reset(self) -> None:
+        """Zero the footprint in place (declarations included; callers
+        re-declare their working sets). In-place matters: observers and
+        registry bridges hold references to this object and must keep
+        seeing live counts after a post-warmup reset."""
+        self.working_set_bytes.clear()
+        self.random_lines.clear()
+        self.sequential_bytes.clear()
+
     def merge(self, other: "AccessProfile") -> None:
         self.working_set_bytes.update(other.working_set_bytes)
         for name, lines in other.random_lines.items():
@@ -113,6 +122,14 @@ class EngineCounters:
     array_pushes: int = 0
     rollback_bytes: int = 0
     recoveries: int = 0
+
+    def reset(self) -> None:
+        """Zero every field in place — same end state as assigning a
+        fresh EngineCounters, but anyone holding a reference (an obs
+        registry bridge, a test, a dashboard) keeps seeing live counts
+        instead of a dead snapshot."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
 
     def merge(self, other: "EngineCounters") -> None:
         for name in self.__dataclass_fields__:

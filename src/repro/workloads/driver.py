@@ -98,9 +98,12 @@ def run_workload(
     for _ in range(warmup):
         workload.run_transaction(target)
 
-    # Reset statistics after warmup so results are steady-state.
-    engine.counters = EngineCounters()
-    engine.profile = AccessProfile(line_size=engine.profile.line_size)
+    # Reset statistics after warmup so results are steady-state. The
+    # reset is in place — never a fresh object — so an EngineCounters
+    # registry bridge or observer holding the old reference keeps
+    # seeing live counts.
+    engine.counters.reset()
+    engine.profile.reset()
     for name, size in _declared_sets(engine):
         engine.profile.declare(name, size)
     if interface is not None:

@@ -1,0 +1,65 @@
+"""The process-parallel experiment runner: determinism and coverage.
+
+``--jobs N`` must print byte-for-byte what the sequential runner
+prints (only the final timing line may differ), because the pool only
+computes cache cells — rendering stays sequential and in-process.
+"""
+
+from repro.experiments import cells, runner
+from repro.experiments.common import ExperimentContext, ExperimentSettings
+from repro.fastpath.parallel import run_tasks
+
+
+def _run_main(capsys, argv):
+    assert runner.main(argv) == 0
+    out = capsys.readouterr().out
+    # Drop the wall-clock line; everything above it must match exactly.
+    lines = out.splitlines()
+    assert lines[-1].startswith("[all experiments passed")
+    return "\n".join(lines[:-1])
+
+
+def test_jobs_output_is_byte_identical(capsys):
+    base = ["table6", "--transactions", "80", "--seed", "11"]
+    sequential = _run_main(capsys, base)
+    parallel = _run_main(capsys, base + ["--jobs", "2"])
+    assert parallel == sequential
+
+
+def test_run_tasks_preserves_task_order():
+    tasks = list(range(7))
+    assert run_tasks(_square, tasks, jobs=2) == [n * n for n in tasks]
+    assert run_tasks(_square, tasks, jobs=1) == [n * n for n in tasks]
+
+
+def _square(n):
+    return n * n
+
+
+def test_plan_covers_every_cell_an_experiment_reads():
+    """Drift canary: rendering table6 after preloading its plan must
+    never compute a cell inline. (The plan is advisory — a miss would
+    still be correct, just sequential — but silent plan drift wastes
+    the pool, so it should fail loudly here.)"""
+    settings = ExperimentSettings(transactions=40, warmup=10)
+    plan = cells.plan_for(["table6"])
+    computed = dict(
+        run_tasks(cells.compute_cell, [(settings, spec) for spec in plan], jobs=1)
+    )
+    ctx = ExperimentContext(settings)
+    ctx.preload(cells=computed)
+    ctx._run = _refuse_inline_runs  # any cache miss lands here
+    runner.EXPERIMENTS["table6"](ctx)
+
+
+def _refuse_inline_runs(key, target, workload):
+    raise AssertionError(f"cell {key!r} missing from the parallel plan")
+
+
+def test_plan_for_dedupes_and_orders_anchors_first():
+    plan = cells.plan_for(["table3", "table4", "sensitivity"])
+    assert len(plan) == len(set(plan))
+    assert plan[0] in cells.CALIBRATION_CELLS
+    assert plan[1] in cells.CALIBRATION_CELLS
+    # figure1/recovery alone need no cells at all.
+    assert cells.plan_for(["figure1", "recovery"]) == []

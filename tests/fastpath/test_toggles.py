@@ -1,0 +1,26 @@
+"""The fast-path global switch and its escape hatches."""
+
+from repro import fastpath
+
+
+def test_default_is_enabled():
+    assert fastpath.enabled()
+
+
+def test_set_enabled_returns_previous():
+    previous = fastpath.set_enabled(False)
+    try:
+        assert previous is True
+        assert not fastpath.enabled()
+    finally:
+        fastpath.set_enabled(previous)
+
+
+def test_disabled_context_restores():
+    assert fastpath.enabled()
+    with fastpath.disabled():
+        assert not fastpath.enabled()
+        with fastpath.forced():
+            assert fastpath.enabled()
+        assert not fastpath.enabled()
+    assert fastpath.enabled()

@@ -1,0 +1,132 @@
+"""Property-based equivalence tests for the fast-path execution layer.
+
+The whole fast path rests on two claims:
+
+* ``write_batch`` is observably identical to calling ``write`` once
+  per store, and
+* a barrier-terminated store schedule that began with empty buffers
+  drains into a packet sequence that is a pure function of its
+  canonicalized shape, so the replay cache may serve it from memory.
+
+These tests drive both claims with randomized store schedules over
+randomized buffer geometries.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fastpath.replay import PacketReplayCache
+from repro.hardware.writebuffer import WriteBufferModel
+
+geometries = st.tuples(
+    st.integers(1, 8),                      # num_buffers
+    st.sampled_from((4, 8, 16, 32, 64)),    # block_bytes
+)
+
+stores = st.lists(
+    st.tuples(st.integers(0, 4096), st.integers(1, 100)),
+    min_size=0, max_size=60,
+)
+
+#: A schedule interleaving stores with barriers: True = barrier.
+schedule = st.lists(
+    st.one_of(
+        st.tuples(st.integers(0, 4096), st.integers(1, 100)),
+        st.just(True),
+    ),
+    min_size=0, max_size=60,
+)
+
+
+def _run_per_store(ops, num_buffers, block_bytes):
+    sizes = []
+    model = WriteBufferModel(num_buffers, block_bytes, on_packet=sizes.append)
+    for op in ops:
+        if op is True:
+            model.barrier()
+        else:
+            model.write(*op)
+    model.barrier()
+    return sizes, model
+
+
+def _run_batched(ops, num_buffers, block_bytes):
+    """Same schedule through write_batch, splitting at barriers."""
+    sizes = []
+    model = WriteBufferModel(num_buffers, block_bytes, on_packet=sizes.append)
+    batch = []
+    for op in ops:
+        if op is True:
+            model.write_batch(batch)
+            batch = []
+            model.barrier()
+        else:
+            batch.append(op)
+    model.write_batch(batch)
+    model.barrier()
+    return sizes, model
+
+
+@given(ops=schedule, geometry=geometries)
+@settings(max_examples=150, deadline=None)
+def test_write_batch_matches_per_store_writes(ops, geometry):
+    num_buffers, block_bytes = geometry
+    slow_sizes, slow = _run_per_store(ops, num_buffers, block_bytes)
+    fast_sizes, fast = _run_batched(ops, num_buffers, block_bytes)
+    assert fast_sizes == slow_sizes
+    assert fast.packets_emitted == slow.packets_emitted
+    assert fast.bytes_emitted == slow.bytes_emitted
+    assert fast.histogram == slow.histogram
+
+
+@given(ops=stores, geometry=geometries)
+@settings(max_examples=150, deadline=None)
+def test_replay_cache_matches_simulation(ops, geometry):
+    """A cached drain equals the per-store simulation, on the miss
+    (first call simulates) and on the hit (second call replays)."""
+    num_buffers, block_bytes = geometry
+    slow_sizes, slow = _run_per_store(ops, num_buffers, block_bytes)
+    cache = PacketReplayCache()
+    for expected_hits in (0, 1):
+        sizes, total_bytes = cache.drain_sizes(ops, num_buffers, block_bytes)
+        assert list(sizes) == slow_sizes
+        assert total_bytes == slow.bytes_emitted
+        assert cache.hits == expected_hits
+    assert cache.misses == 1
+
+
+@given(
+    ops=stores,
+    geometry=geometries,
+    shift_blocks=st.integers(0, 1 << 20),
+)
+@settings(max_examples=100, deadline=None)
+def test_canonical_key_is_translation_invariant(ops, geometry, shift_blocks):
+    """Shifting every address by a whole number of blocks renames the
+    blocks consistently, so the canonical key — and therefore the
+    cached packet sequence — must not change."""
+    num_buffers, block_bytes = geometry
+    shift = shift_blocks * block_bytes
+    shifted = [(address + shift, length) for address, length in ops]
+    key = PacketReplayCache.canonical_key(ops, num_buffers, block_bytes)
+    assert key == PacketReplayCache.canonical_key(shifted, num_buffers, block_bytes)
+    base_sizes, _model = _run_per_store(ops, num_buffers, block_bytes)
+    shifted_sizes, _model = _run_per_store(shifted, num_buffers, block_bytes)
+    assert shifted_sizes == base_sizes
+
+
+@given(ops=stores, geometry=geometries)
+@settings(max_examples=100, deadline=None)
+def test_account_replayed_matches_write_batch_statistics(ops, geometry):
+    num_buffers, block_bytes = geometry
+    sizes, reference = _run_batched(ops, num_buffers, block_bytes)
+    replayed_sizes = []
+    model = WriteBufferModel(
+        num_buffers, block_bytes, on_packet=replayed_sizes.append
+    )
+    model.account_replayed(sizes, reference.bytes_emitted)
+    assert replayed_sizes == sizes
+    assert model.packets_emitted == reference.packets_emitted
+    assert model.bytes_emitted == reference.bytes_emitted
+    assert model.histogram == reference.histogram

@@ -93,3 +93,23 @@ def test_scaled_accessors():
 def test_driver_rejects_engineless_target():
     with pytest.raises(TypeError):
         run_workload(object(), DebitCreditWorkload(4 * MB), 1)
+
+
+def test_post_warmup_reset_is_in_place():
+    """The driver must reset the engine's counters and profile *in
+    place* after warmup — never swap in fresh objects — so anything
+    holding the original references (an obs registry bridge, a
+    dashboard) keeps seeing live steady-state counts."""
+    engine = create_engine("v3", RioMemory("drv-inplace"), CONFIG)
+    workload = DebitCreditWorkload(CONFIG.db_bytes, seed=1)
+    workload.setup(engine)
+    counters_before = engine.counters
+    profile_before = engine.profile
+    result = run_workload(engine, workload, 30, warmup=10)
+    assert engine.counters is counters_before
+    assert engine.profile is profile_before
+    assert result.counters is counters_before
+    # The held reference sees steady-state (post-warmup) counts...
+    assert counters_before.commits == 30
+    # ...and the profile was re-declared after its in-place clear.
+    assert profile_before.working_set_bytes["db"] == engine.config.nominal
