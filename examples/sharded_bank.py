@@ -11,14 +11,18 @@ delayed requests once service returns — nothing is lost.
 Run:  python examples/sharded_bank.py
       python examples/sharded_bank.py --trace bank.jsonl
       python examples/sharded_bank.py --chrome-trace bank.chrome.json
+      python examples/sharded_bank.py --metrics-json bank.metrics.json
 
 With ``--trace`` the whole run is recorded as a JSONL trace that
 ``python -m repro.obs.report bank.jsonl`` renders as a failover
 timeline; ``--chrome-trace`` writes the same events in Chrome
-``trace_event`` format for chrome://tracing or https://ui.perfetto.dev.
+``trace_event`` format for chrome://tracing or https://ui.perfetto.dev;
+``--metrics-json`` dumps the run's metrics snapshot (counters, gauges,
+histograms) as one JSON object.
 """
 
 import argparse
+import json
 
 from repro.obs import NULL_OBSERVER, Observer, write_chrome_trace, write_jsonl
 from repro.shard import Router, ShardedCluster, ShardedWorkload
@@ -38,8 +42,10 @@ def main(argv=None) -> None:
                         help="record a JSONL trace of the run at PATH")
     parser.add_argument("--chrome-trace", metavar="PATH", default=None,
                         help="record a Chrome trace_event JSON at PATH")
+    parser.add_argument("--metrics-json", metavar="PATH", default=None,
+                        help="dump the run's metrics snapshot as JSON at PATH")
     args = parser.parse_args(argv)
-    tracing = args.trace or args.chrome_trace
+    tracing = args.trace or args.chrome_trace or args.metrics_json
     observer = Observer() if tracing else NULL_OBSERVER
 
     config = EngineConfig(db_bytes=4 * MB, log_bytes=512 * KB)
@@ -107,6 +113,13 @@ def main(argv=None) -> None:
         write_chrome_trace(args.chrome_trace, observer.recorder.events)
         print(f"chrome trace written to {args.chrome_trace} "
               f"(open in chrome://tracing or ui.perfetto.dev)")
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as handle:
+            json.dump(observer.registry.snapshot(), handle,
+                      indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics snapshot written to {args.metrics_json} "
+              f"({len(observer.registry)} metrics)")
 
 
 if __name__ == "__main__":

@@ -186,3 +186,42 @@ def compute_smp_sim(task: tuple):
         duration_us=_SMP_DURATION_US,
     )
     return key, simulated
+
+
+def _cell_metrics_snapshot():
+    """The worker's default-observer metrics for the cell just
+    computed, or None when observation is off (the common case)."""
+    from repro.obs.observer import get_default_observer
+
+    observer = get_default_observer()
+    if not observer.enabled:
+        return None
+    return observer.registry.snapshot()
+
+
+def compute_cell_observed(task: Tuple[ExperimentSettings, CellSpec]):
+    """Pool worker for observed runs: ``compute_cell`` plus the cell's
+    own metrics snapshot.
+
+    A pool process computes many cells back to back against one
+    process-global default observer, so each cell starts by resetting
+    it — otherwise a cell's snapshot would also contain every earlier
+    cell's counts and the runner's merge would double-count them.
+    Returns ``(cache_key, RunResult, snapshot-or-None)``.
+    """
+    from repro.obs.observer import reset_default_observer
+
+    reset_default_observer()
+    key, result = compute_cell(task)
+    return key, result, _cell_metrics_snapshot()
+
+
+def compute_smp_sim_observed(task: tuple):
+    """Pool worker: one observed SMP simulation point, with its
+    metrics snapshot (same reset discipline as
+    :func:`compute_cell_observed`)."""
+    from repro.obs.observer import reset_default_observer
+
+    reset_default_observer()
+    key, simulated = compute_smp_sim(task)
+    return key, simulated, _cell_metrics_snapshot()

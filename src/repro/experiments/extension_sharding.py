@@ -82,6 +82,20 @@ class FailoverTimeline:
             window_us=self.slot_us if window_us is None else window_us,
         )
 
+    def audit(self):
+        """Run the online trace auditor over the recorded trace."""
+        from repro.obs.audit import audit_events
+
+        return audit_events(self.trace_events)
+
+    def slo(self, audited: bool = True):
+        """Fold the trace's downtime into an availability report,
+        audit-confirmed unless ``audited`` is False."""
+        from repro.obs.slo import compute_slo
+
+        audit_ok = self.audit().ok if audited else None
+        return compute_slo(self.trace_events, audit_ok=audit_ok)
+
     @property
     def normal_per_slot(self) -> int:
         return self.num_shards * self.offered_per_shard_per_slot
@@ -253,6 +267,30 @@ class ShardingResult:
         assert sorted(rederived.per_shard_completions) == list(range(n))
         for count in rederived.per_shard_completions.values():
             assert count == SLOTS * timeline.offered_per_shard_per_slot
+
+        # -- audit + SLO ------------------------------------------------
+        # A clean run must satisfy every replication invariant the
+        # auditor knows, and the availability accounting must charge
+        # the measured downtime to exactly the crashed shard.
+        audit = timeline.audit()
+        assert audit.ok, audit.render()
+        slo = timeline.slo()
+        assert slo.audit_ok is True
+        by_scope = {s.scope: s for s in slo.scopes}
+        assert set(by_scope) == {f"shard.{i}" for i in range(n)}
+        for shard in range(n):
+            scope = by_scope[f"shard.{shard}"]
+            if shard == timeline.crashed_shard:
+                assert abs(scope.downtime_us - report.downtime_us) < 1e-6
+                assert scope.failovers == 1
+                assert scope.availability < 1.0
+            else:
+                assert scope.downtime_us == 0.0
+                assert scope.availability == 1.0
+        # Cluster availability loses exactly the crashed shard's share.
+        crashed = by_scope[f"shard.{timeline.crashed_shard}"]
+        expected = (n - 1 + crashed.availability) / n
+        assert abs(slo.cluster_availability - expected) < 1e-12
 
 
 def failover_timeline(

@@ -142,8 +142,31 @@ def _precompute(ctx: ExperimentContext, resolved: List[str], jobs: int) -> None:
     so the printed tables are byte-identical to a sequential run."""
     from repro.experiments import cells
     from repro.fastpath.parallel import run_tasks
+    from repro.obs.observer import get_default_observer
 
+    observer = get_default_observer()
     plan = cells.plan_for(resolved)
+    if observer.enabled:
+        # Observed run: workers also return their per-cell metrics
+        # snapshots, merged here in task order (run_tasks preserves
+        # it), so the aggregate registry is deterministic at any -j.
+        computed = run_tasks(
+            cells.compute_cell_observed,
+            [(ctx.settings, spec) for spec in plan], jobs,
+        )
+        ctx.preload(cells={key: result for key, result, _ in computed})
+        for _key, _result, snapshot in computed:
+            if snapshot is not None:
+                observer.registry.merge_snapshot(snapshot)
+        if "smp-validation" in resolved:
+            sims = run_tasks(
+                cells.compute_smp_sim_observed, cells.smp_sim_tasks(ctx), jobs
+            )
+            ctx.preload(memos={key: sim for key, sim, _ in sims})
+            for _key, _sim, snapshot in sims:
+                if snapshot is not None:
+                    observer.registry.merge_snapshot(snapshot)
+        return
     computed = run_tasks(
         cells.compute_cell, [(ctx.settings, spec) for spec in plan], jobs
     )

@@ -34,6 +34,7 @@ from repro.obs.observer import (
     OBS_ENV_VAR,
     Observer,
     get_default_observer,
+    reset_default_observer,
     resolve_observer,
 )
 from repro.obs.trace import (
@@ -44,27 +45,48 @@ from repro.obs.trace import (
     select_events,
 )
 
-# The report symbols are re-exported lazily (PEP 562) so that running
-# the CLI as ``python -m repro.obs.report`` does not pre-import the
-# module through the package and trip runpy's double-import warning.
-_REPORT_EXPORTS = (
-    "FailoverSpan",
-    "LatencySummary",
-    "TimelineReport",
-    "analyze_timeline",
-    "analyze_trace_file",
-)
+# Symbols re-exported lazily (PEP 562): the report/audit/slo modules
+# are runnable or import each other, so pre-importing them through the
+# package would trip runpy's double-import warning (report) or force
+# the whole analysis layer on every ``import repro`` (audit/slo/spans).
+_LAZY_EXPORTS = {
+    "FailoverSpan": "repro.obs.report",
+    "LatencySummary": "repro.obs.report",
+    "TimelineReport": "repro.obs.report",
+    "analyze_timeline": "repro.obs.report",
+    "analyze_trace_file": "repro.obs.report",
+    "AuditReport": "repro.obs.audit",
+    "TraceAuditor": "repro.obs.audit",
+    "Violation": "repro.obs.audit",
+    "audit_events": "repro.obs.audit",
+    "audit_trace_file": "repro.obs.audit",
+    "ScopeAvailability": "repro.obs.slo",
+    "SloReport": "repro.obs.slo",
+    "compute_slo": "repro.obs.slo",
+    "slo_from_trace_file": "repro.obs.slo",
+    "COMMIT_PHASES": "repro.obs.spans",
+    "CommitSpanRecorder": "repro.obs.spans",
+    "CommitSpanTree": "repro.obs.spans",
+    "PhaseAttribution": "repro.obs.spans",
+    "attribute_commits": "repro.obs.spans",
+    "collect_commit_spans": "repro.obs.spans",
+}
 
 
 def __getattr__(name):
-    if name in _REPORT_EXPORTS:
-        from repro.obs import report
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(report, name)
+        return getattr(importlib.import_module(module_name), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
+    "AuditReport",
+    "COMMIT_PHASES",
+    "CommitSpanRecorder",
+    "CommitSpanTree",
     "Counter",
     "DEFAULT_BOUNDS",
     "FailoverSpan",
@@ -78,16 +100,28 @@ __all__ = [
     "NullObserver",
     "OBS_ENV_VAR",
     "Observer",
+    "PhaseAttribution",
+    "ScopeAvailability",
+    "SloReport",
     "TimelineReport",
+    "TraceAuditor",
     "TraceEvent",
     "TraceRecorder",
+    "Violation",
     "analyze_timeline",
     "analyze_trace_file",
+    "attribute_commits",
+    "audit_events",
+    "audit_trace_file",
     "chrome_trace_dict",
+    "collect_commit_spans",
+    "compute_slo",
     "get_default_observer",
     "read_jsonl",
+    "reset_default_observer",
     "resolve_observer",
     "select_events",
+    "slo_from_trace_file",
     "write_chrome_trace",
     "write_jsonl",
 ]

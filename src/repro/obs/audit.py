@@ -1,0 +1,361 @@
+"""Online trace auditing: machine-checked replication invariants.
+
+The observability layer records what the systems *did*; this module
+checks that what they did is *allowed*. A :class:`TraceAuditor`
+consumes a trace event stream — live, event by event, or replayed from
+JSONL — and emits a typed :class:`Violation` for every breach of the
+invariants the paper's protocols promise:
+
+* **ring-overrun** — the redo-ring producer may never lap the
+  consumer: ``produced - consumed <= capacity`` on every
+  ``ring.publish`` (Section 6.1's two-pointer discipline).
+* **ring-monotone** — both ring pointers are monotonically increasing
+  byte sequence numbers, and the consumer never passes the producer.
+* **lag-bound** — the backup's apply lag stays within a configured
+  bound (defaults to the ring capacity carried on the event).
+* **commit-ordering** — a commit claiming 2-safe must show the backup
+  durably caught up (``ring_lag_bytes == 0``): 2-safe with redo still
+  in flight is exactly the lost-transaction window 2-safe exists to
+  close (Section 2.1).
+* **epoch-monotone** — membership view ids and service epochs only
+  move forward, per scope.
+* **downtime-completion** — no transaction completes for a shard
+  inside its declared downtime window (``fault.crash`` until the
+  ``takeover`` span's service restoration).
+* **span-sum** — every ``commit.span`` parent's duration equals the
+  sum of its ``commit.phase`` children within float tolerance (the
+  tiling invariant of :mod:`repro.obs.spans`).
+
+The auditor is deliberately stream-friendly: :meth:`TraceAuditor.feed`
+does all per-event work online; only the span-sum reconciliation (and
+any still-open downtime windows) waits for :meth:`TraceAuditor.finish`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.spans import COMMIT_PHASE, COMMIT_SPAN
+from repro.obs.trace import TraceEvent
+
+#: Relative tolerance of the span-sum check. Phase durations are
+#: accumulated floats, so exact equality is one rounding away from a
+#: false alarm.
+SPAN_SUM_RTOL = 1e-9
+SPAN_SUM_ATOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, anchored to the event that revealed it."""
+
+    rule: str
+    ts_us: float
+    component: str
+    message: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "rule": self.rule,
+            "ts_us": self.ts_us,
+            "component": self.component,
+            "message": self.message,
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.rule}] t={self.ts_us:.1f}us {self.component}: "
+            f"{self.message}"
+        )
+
+
+@dataclass
+class AuditReport:
+    """The auditor's verdict over one trace."""
+
+    events_seen: int
+    commits_checked: int
+    spans_checked: int
+    violations: List[Violation]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        verdict = "PASS" if self.ok else f"FAIL ({len(self.violations)} violations)"
+        title = (
+            f"Trace audit: {verdict} — {self.events_seen} events, "
+            f"{self.commits_checked} commits, {self.spans_checked} commit spans"
+        )
+        lines = [title, "=" * len(title)]
+        for violation in self.violations:
+            lines.append(f"  {violation}")
+        if self.ok:
+            lines.append("  all invariants hold")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "events_seen": self.events_seen,
+            "commits_checked": self.commits_checked,
+            "spans_checked": self.spans_checked,
+            "violations": [violation.to_dict() for violation in self.violations],
+        }
+
+
+def _scope_of(component: str) -> str:
+    """The shard scope a cluster-level component belongs to.
+
+    ``shard.2.cluster`` -> ``shard.2``; a bare ``cluster`` (unsharded
+    pair) -> ``""``, which downtime matching treats as "everything".
+    """
+    scope = component.rsplit(".cluster", 1)[0]
+    return "" if scope == component else scope
+
+
+class TraceAuditor:
+    """Feed trace events in stream order; collect violations.
+
+    Args:
+        max_lag_bytes: optional hard bound on the redo ring's apply
+            lag. When None the bound is each event's own ring capacity
+            (i.e. only overruns are flagged).
+    """
+
+    def __init__(self, max_lag_bytes: Optional[int] = None):
+        self.max_lag_bytes = max_lag_bytes
+        self.violations: List[Violation] = []
+        self.events_seen = 0
+        self.commits_checked = 0
+        # Ring pointer state per producing/applying component.
+        self._ring_produced: Dict[str, int] = {}
+        self._ring_consumed: Dict[str, int] = {}
+        # Monotone epoch state.
+        self._view_ids: Dict[str, int] = {}
+        self._epochs: Dict[str, int] = {}
+        # Downtime windows per scope: closed (start, end) plus at most
+        # one open window (start, None) while a takeover is pending.
+        self._downtime: Dict[str, List[Tuple[float, Optional[float]]]] = {}
+        # Span tiling: parent span_id -> (event, declared duration),
+        # and accumulated child durations per parent.
+        self._span_parents: Dict[int, TraceEvent] = {}
+        self._span_child_sums: Dict[int, float] = {}
+        self._orphan_children: List[TraceEvent] = []
+
+    # -- violation plumbing ---------------------------------------------------
+
+    def _flag(self, rule: str, event: TraceEvent, message: str,
+              **attrs: object) -> None:
+        self.violations.append(
+            Violation(rule, event.ts_us, event.component, message, attrs)
+        )
+
+    # -- per-event checks -----------------------------------------------------
+
+    def feed(self, event: TraceEvent) -> None:
+        """Check one event, in stream order."""
+        self.events_seen += 1
+        name = event.name
+        if name in ("ring.publish", "ring.apply"):
+            self._check_ring(event)
+        elif name == "commit":
+            self._check_commit(event)
+        elif name == "view.change":
+            self._check_view(event)
+        elif name == "service.restored":
+            self._check_epoch(event)
+        elif name == "fault.crash":
+            self._open_downtime(event)
+        elif name == "takeover":
+            self._close_downtime(event)
+        elif name == "txn.complete":
+            self._check_completion(event)
+        elif name == COMMIT_SPAN:
+            span_id = int(event.attrs.get("span_id", 0))
+            self._span_parents[span_id] = event
+            self._span_child_sums.setdefault(span_id, 0.0)
+        elif name == COMMIT_PHASE:
+            parent_id = int(event.attrs.get("parent_id", 0))
+            if parent_id in self._span_parents:
+                self._span_child_sums[parent_id] += event.dur_us
+            else:
+                self._orphan_children.append(event)
+
+    def _check_ring(self, event: TraceEvent) -> None:
+        attrs = event.attrs
+        produced = int(attrs["produced"])
+        consumed = int(attrs["consumed"])
+        capacity = int(attrs["capacity"])
+        key = event.component
+        lag = produced - consumed
+        if lag > capacity:
+            self._flag(
+                "ring-overrun", event,
+                f"producer lapped consumer: lag {lag} > capacity {capacity}",
+                produced=produced, consumed=consumed, capacity=capacity,
+            )
+        bound = self.max_lag_bytes
+        if bound is not None and lag > bound:
+            self._flag(
+                "lag-bound", event,
+                f"apply lag {lag} bytes exceeds bound {bound}",
+                lag=lag, bound=bound,
+            )
+        if lag < 0:
+            self._flag(
+                "ring-monotone", event,
+                f"consumer passed producer: consumed {consumed} > "
+                f"produced {produced}",
+                produced=produced, consumed=consumed,
+            )
+        last_produced = self._ring_produced.get(key)
+        if last_produced is not None and produced < last_produced:
+            self._flag(
+                "ring-monotone", event,
+                f"producer pointer went backwards: {produced} < {last_produced}",
+                produced=produced, previous=last_produced,
+            )
+        last_consumed = self._ring_consumed.get(key)
+        if last_consumed is not None and consumed < last_consumed:
+            self._flag(
+                "ring-monotone", event,
+                f"consumer pointer went backwards: {consumed} < {last_consumed}",
+                consumed=consumed, previous=last_consumed,
+            )
+        self._ring_produced[key] = produced
+        self._ring_consumed[key] = consumed
+
+    def _check_commit(self, event: TraceEvent) -> None:
+        self.commits_checked += 1
+        safety = event.attrs.get("safety")
+        if safety == "2-safe":
+            lag = int(event.attrs.get("ring_lag_bytes", 0))
+            if lag != 0:
+                self._flag(
+                    "commit-ordering", event,
+                    f"2-safe commit returned with {lag} redo bytes still "
+                    f"unapplied on the backup",
+                    ring_lag_bytes=lag,
+                )
+
+    def _check_view(self, event: TraceEvent) -> None:
+        view_id = int(event.attrs.get("view_id", 0))
+        key = event.component
+        last = self._view_ids.get(key)
+        if last is not None and view_id <= last:
+            self._flag(
+                "epoch-monotone", event,
+                f"view id did not advance: {view_id} after {last}",
+                view_id=view_id, previous=last,
+            )
+        self._view_ids[key] = view_id
+
+    def _check_epoch(self, event: TraceEvent) -> None:
+        if "epoch" not in event.attrs:
+            return
+        epoch = int(event.attrs["epoch"])
+        key = event.component
+        last = self._epochs.get(key)
+        if last is not None and epoch <= last:
+            self._flag(
+                "epoch-monotone", event,
+                f"service epoch did not advance: {epoch} after {last}",
+                epoch=epoch, previous=last,
+            )
+        self._epochs[key] = epoch
+
+    # -- downtime windows -----------------------------------------------------
+
+    def _open_downtime(self, event: TraceEvent) -> None:
+        scope = _scope_of(event.component)
+        self._downtime.setdefault(scope, []).append((event.ts_us, None))
+
+    def _close_downtime(self, event: TraceEvent) -> None:
+        scope = _scope_of(event.component)
+        windows = self._downtime.setdefault(scope, [])
+        for index in range(len(windows) - 1, -1, -1):
+            start, end = windows[index]
+            if end is None:
+                windows[index] = (start, event.end_us)
+                return
+        # A takeover with no recorded crash still declares downtime
+        # over the span itself (detection to restoration).
+        windows.append((event.ts_us, event.end_us))
+
+    def _completion_scope(self, event: TraceEvent) -> Optional[str]:
+        if "shard" in event.attrs:
+            return f"shard.{int(event.attrs['shard'])}"
+        return None
+
+    def _check_completion(self, event: TraceEvent) -> None:
+        scope = self._completion_scope(event)
+        for window_scope, windows in self._downtime.items():
+            if window_scope and scope is not None and window_scope != scope:
+                continue
+            for start, end in windows:
+                closed_end = end if end is not None else float("inf")
+                if start <= event.ts_us < closed_end:
+                    self._flag(
+                        "downtime-completion", event,
+                        f"transaction completed at {event.ts_us:.1f}us inside "
+                        f"{window_scope or 'cluster'} downtime "
+                        f"[{start:.1f}, "
+                        f"{'open' if end is None else format(end, '.1f')})",
+                        scope=window_scope, window_start_us=start,
+                        window_end_us=end,
+                    )
+                    return
+
+    # -- finalization ---------------------------------------------------------
+
+    def finish(self) -> AuditReport:
+        """Run the deferred whole-trace checks and return the report."""
+        for span_id, parent in sorted(self._span_parents.items()):
+            child_sum = self._span_child_sums.get(span_id, 0.0)
+            tolerance = SPAN_SUM_ATOL + SPAN_SUM_RTOL * abs(parent.dur_us)
+            if abs(child_sum - parent.dur_us) > tolerance:
+                self._flag(
+                    "span-sum", parent,
+                    f"commit span duration {parent.dur_us:.6f}us != phase "
+                    f"sum {child_sum:.6f}us",
+                    dur_us=parent.dur_us, phase_sum_us=child_sum,
+                )
+        for child in self._orphan_children:
+            self._flag(
+                "span-sum", child,
+                f"commit.phase child references unknown parent span "
+                f"{child.attrs.get('parent_id')}",
+            )
+        return AuditReport(
+            events_seen=self.events_seen,
+            commits_checked=self.commits_checked,
+            spans_checked=len(self._span_parents),
+            violations=list(self.violations),
+        )
+
+
+def audit_events(
+    events: Iterable[TraceEvent], max_lag_bytes: Optional[int] = None
+) -> AuditReport:
+    """Audit an in-memory event stream."""
+    auditor = TraceAuditor(max_lag_bytes=max_lag_bytes)
+    for event in events:
+        auditor.feed(event)
+    return auditor.finish()
+
+
+def audit_trace_file(
+    path: str, max_lag_bytes: Optional[int] = None
+) -> AuditReport:
+    """Audit a JSONL trace file written by ``write_jsonl``."""
+    from repro.obs.export import read_jsonl
+
+    events, _metrics = read_jsonl(path)
+    return audit_events(events, max_lag_bytes=max_lag_bytes)

@@ -120,6 +120,26 @@ class Histogram:
             "p95": self.quantile(0.95),
         }
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Requires identical bucket bounds — merging differently-shaped
+        histograms would silently misbucket, so it raises instead.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r} into {self.name!r}: "
+                f"bucket bounds differ"
+            )
+        for index, bucket_count in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += bucket_count
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+
 
 class MetricsRegistry:
     """One namespace of counters, gauges and histograms.
@@ -211,6 +231,49 @@ class MetricsRegistry:
                 for name, hist in sorted(self._histograms.items())
             },
         }
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's metrics into this one, in place.
+
+        Counters and histogram observations add; gauges take the
+        other's value (last write wins, matching their semantics when
+        the merged registries are fed in a defined order). This is how
+        ``repro-experiments --jobs N`` folds its worker processes'
+        per-cell registries back into one process-wide view.
+        """
+        for name in sorted(other._counters):
+            self.counter(name).inc(other._counters[name].value)
+        for name in sorted(other._gauges):
+            self.gauge(name).set(other._gauges[name].value)
+        for name in sorted(other._histograms):
+            theirs = other._histograms[name]
+            self.histogram(name, theirs.bounds).merge(theirs)
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict]) -> None:
+        """Fold a :meth:`snapshot` dump into this registry — the
+        picklable path for cross-process merging (snapshots travel
+        through the pool; live registries never do)."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, dump in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, tuple(dump["bounds"]))
+            for index, bucket_count in enumerate(dump["bucket_counts"]):
+                histogram.bucket_counts[index] += int(bucket_count)
+            count = int(dump["count"])
+            histogram.count += count
+            histogram.sum += dump["sum"]
+            if count:
+                low, high = dump["min"], dump["max"]
+                histogram.min = (
+                    low if histogram.min is None else min(histogram.min, low)
+                )
+                histogram.max = (
+                    high if histogram.max is None else max(histogram.max, high)
+                )
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)

@@ -67,6 +67,18 @@ class NullObserver:
              end_us: float, **attrs: object) -> None:
         pass
 
+    def new_trace_id(self) -> int:
+        return 0
+
+    def new_span_id(self) -> int:
+        return 0
+
+    def linked_span(
+        self, component: str, name: str, start_us: float, end_us: float,
+        trace_id: int, parent_id: Optional[int] = None, **attrs: object,
+    ) -> int:
+        return 0
+
     def __repr__(self) -> str:
         return "NullObserver()"
 
@@ -91,6 +103,7 @@ class Observer:
         self._clock = clock
         self._prefix = ""
         self._parent: Optional[Observer] = None
+        self._next_id = 0
 
     # -- clock ---------------------------------------------------------------
 
@@ -176,6 +189,40 @@ class Observer:
             start_us, end_us - start_us, self._join(component), name, **attrs
         )
 
+    # -- causal spans --------------------------------------------------------
+
+    def new_trace_id(self) -> int:
+        """A fresh id for one causal trace (e.g. one commit); unique
+        across every scope sharing this observer's recorder."""
+        root = self._root()
+        root._next_id += 1
+        return root._next_id
+
+    def new_span_id(self) -> int:
+        """A fresh span id, drawn from the same sequence as trace ids
+        so any id is unique across the whole trace."""
+        return self.new_trace_id()
+
+    def linked_span(
+        self, component: str, name: str, start_us: float, end_us: float,
+        trace_id: int, parent_id: Optional[int] = None, **attrs: object,
+    ) -> int:
+        """Record a span causally linked into trace ``trace_id``.
+
+        The span gets its own ``span_id`` (returned, so children can
+        point at it); ``parent_id`` names the enclosing span, or is
+        omitted for a trace root. The links live in ``attrs``, which is
+        what lets them survive the JSONL and Chrome exports unchanged.
+        """
+        span_id = self.new_span_id()
+        if parent_id is not None:
+            attrs["parent_id"] = parent_id
+        self.recorder.span(
+            start_us, end_us - start_us, self._join(component), name,
+            trace_id=trace_id, span_id=span_id, **attrs,
+        )
+        return span_id
+
     def __repr__(self) -> str:
         scope = f", prefix={self._prefix!r}" if self._prefix else ""
         return (
@@ -206,6 +253,18 @@ def get_default_observer():
     if _default_observer is None:
         _default_observer = Observer()
     return _default_observer
+
+
+def reset_default_observer() -> None:
+    """Drop the process-default observer so the next
+    :func:`get_default_observer` call builds a fresh one.
+
+    The parallel experiment runner's workers call this before each
+    cell: a pool process computes many cells back to back, and without
+    the reset each cell's metrics snapshot would also contain every
+    earlier cell's counts, double-counting them at the merge."""
+    global _default_observer
+    _default_observer = None
 
 
 def resolve_observer(observer):

@@ -81,6 +81,7 @@ class LatencySummary:
     mean_us: float = 0.0
     p50_us: float = 0.0
     p95_us: float = 0.0
+    p99_us: float = 0.0
     max_us: float = 0.0
 
     @classmethod
@@ -93,8 +94,19 @@ class LatencySummary:
             mean_us=sum(ordered) / len(ordered),
             p50_us=_percentile(ordered, 0.50),
             p95_us=_percentile(ordered, 0.95),
+            p99_us=_percentile(ordered, 0.99),
             max_us=ordered[-1],
         )
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_us": self.mean_us,
+            "p50_us": self.p50_us,
+            "p95_us": self.p95_us,
+            "p99_us": self.p99_us,
+            "max_us": self.max_us,
+        }
 
 
 @dataclass
@@ -190,6 +202,34 @@ class TimelineReport:
             lines.append(f"  completions by shard: {shares}")
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "window_us": self.window_us,
+            "completions": len(self.completions),
+            "window_counts": self.window_counts(self.horizon_windows()),
+            "failovers": [
+                {
+                    "scope": span.scope or "cluster",
+                    "shard": span.shard_id,
+                    "crashed_node": span.crashed_node,
+                    "crash_at_us": span.crash_at_us,
+                    "detected_at_us": span.detected_at_us,
+                    "restored_at_us": span.restored_at_us,
+                    "detection_us": span.detection_us,
+                    "takeover_us": span.takeover_us,
+                    "downtime_us": span.downtime_us,
+                    "bytes_restored": span.bytes_restored,
+                }
+                for span in self.failovers
+            ],
+            "routing": dict(self.routing),
+            "latency_us": self.latency.to_dict(),
+            "per_shard_completions": {
+                str(shard): count
+                for shard, count in sorted(self.per_shard_completions.items())
+            },
+        }
+
 
 def analyze_timeline(
     events: Sequence[TraceEvent], window_us: float = 1_000.0
@@ -256,12 +296,22 @@ def analyze_trace_file(
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    # Imported here: slo imports this module for analyze_timeline.
+    import json as _json
+
+    from repro.obs.audit import audit_events
+    from repro.obs.slo import compute_slo
+    from repro.obs.spans import attribute_commits
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
         description=(
             "Render a failover timeline (throughput per window, "
             "detection/takeover/downtime spans) and latency summary "
-            "from a recorded JSONL trace."
+            "from a recorded JSONL trace; optionally audit the trace "
+            "against the replication invariants, fold its downtime "
+            "into SLO availability nines, and attribute commit time "
+            "to pipeline phases."
         ),
     )
     parser.add_argument("trace", help="path to a JSONL trace file")
@@ -274,13 +324,72 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="additionally convert the trace to Chrome trace_event "
              "JSON at PATH (open in chrome://tracing or Perfetto)",
     )
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="run the online trace auditor; a non-empty violation list "
+             "makes the exit status 1",
+    )
+    parser.add_argument(
+        "--max-lag-bytes", type=int, default=None,
+        help="with --audit, also bound the redo ring's apply lag",
+    )
+    parser.add_argument(
+        "--slo", action="store_true",
+        help="fold failover downtime into per-shard and cluster-wide "
+             "availability (audit-confirmed when --audit is also given)",
+    )
+    parser.add_argument(
+        "--spans", action="store_true",
+        help="summarize commit.span trees into per-phase critical-path "
+             "attribution",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json emits one object with a section per "
+             "requested report)",
+    )
     args = parser.parse_args(argv)
-    events, _metrics = read_jsonl(args.trace)
+    try:
+        events, _metrics = read_jsonl(args.trace)
+    except OSError as error:
+        parser.error(f"cannot read trace file: {error}")
     report = analyze_timeline(events, window_us=args.window_us)
-    print(report.render())
+
+    audit_report = None
+    if args.audit:
+        audit_report = audit_events(events, max_lag_bytes=args.max_lag_bytes)
+    slo_report = None
+    if args.slo:
+        audit_ok = audit_report.ok if audit_report is not None else None
+        slo_report = compute_slo(
+            events, audit_ok=audit_ok, failovers=report.failovers
+        )
+    attribution = attribute_commits(events) if args.spans else None
+
+    if args.format == "json":
+        payload: Dict[str, object] = {"timeline": report.to_dict()}
+        if audit_report is not None:
+            payload["audit"] = audit_report.to_dict()
+        if slo_report is not None:
+            payload["slo"] = slo_report.to_dict()
+        if attribution is not None:
+            payload["attribution"] = attribution.to_dict()
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        sections = [report.render()]
+        if audit_report is not None:
+            sections.append(audit_report.render())
+        if slo_report is not None:
+            sections.append(slo_report.render())
+        if attribution is not None:
+            sections.append(attribution.render())
+        print("\n\n".join(sections))
     if args.chrome_trace:
         write_chrome_trace(args.chrome_trace, events)
-        print(f"\n  chrome trace written to {args.chrome_trace}")
+        if args.format != "json":
+            print(f"\n  chrome trace written to {args.chrome_trace}")
+    if audit_report is not None and not audit_report.ok:
+        return 1
     return 0
 
 

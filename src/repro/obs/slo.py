@@ -1,0 +1,212 @@
+"""SLO availability accounting from recorded traces.
+
+The paper's availability story (Section 7) is qualitative: failover
+takes tens of milliseconds, so a pair is "highly available". This
+module makes it quantitative the way an operator would: fold every
+measured :class:`~repro.obs.report.FailoverSpan`'s downtime window
+against the trace horizon into served-time ratios, per shard and
+cluster-wide, and express them as "nines".
+
+The numbers are only as trustworthy as the trace, which is why
+:func:`compute_slo` accepts the :class:`~repro.obs.audit.AuditReport`
+for the same trace: a report built over a trace the auditor rejected
+carries ``audit_ok=False`` and says so when rendered — availability
+claims over an inconsistent trace are not claims.
+
+Horizon convention: the serving window is ``[0, horizon_us)`` with the
+horizon defaulting to the last event timestamp in the trace, so a
+trace that ends mid-outage counts the open downtime to its end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.report import FailoverSpan, analyze_timeline
+from repro.obs.trace import TraceEvent
+
+#: Availability of a scope with zero observed downtime renders as this
+#: many nines rather than infinity: no finite trace proves more.
+MAX_NINES = 9.0
+
+
+def nines(availability: float) -> float:
+    """Availability expressed as "nines" (0.999 -> 3.0), capped at
+    :data:`MAX_NINES` because a finite trace cannot witness infinity."""
+    if availability >= 1.0:
+        return MAX_NINES
+    if availability <= 0.0:
+        return 0.0
+    return min(MAX_NINES, -math.log10(1.0 - availability))
+
+
+@dataclass(frozen=True)
+class ScopeAvailability:
+    """One scope's (shard's, or the whole pair's) serving record."""
+
+    scope: str  # "shard.2", or "" for an unsharded pair
+    horizon_us: float
+    downtime_us: float
+    failovers: int
+    windows: Tuple[Tuple[float, float], ...] = ()
+
+    @property
+    def label(self) -> str:
+        return self.scope or "cluster"
+
+    @property
+    def served_us(self) -> float:
+        return max(0.0, self.horizon_us - self.downtime_us)
+
+    @property
+    def availability(self) -> float:
+        if self.horizon_us <= 0:
+            return 1.0
+        return self.served_us / self.horizon_us
+
+    @property
+    def nines(self) -> float:
+        return nines(self.availability)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scope": self.label,
+            "horizon_us": self.horizon_us,
+            "downtime_us": self.downtime_us,
+            "failovers": self.failovers,
+            "availability": self.availability,
+            "nines": self.nines,
+            "windows_us": [list(window) for window in self.windows],
+        }
+
+
+@dataclass
+class SloReport:
+    """Availability per scope plus the cluster-wide roll-up."""
+
+    horizon_us: float
+    scopes: List[ScopeAvailability]
+    audit_ok: Optional[bool] = None  # None: trace was not audited
+
+    @property
+    def cluster_availability(self) -> float:
+        """Capacity-weighted availability: each scope serves an equal
+        share, so the cluster's served fraction is the scope mean.
+        This is how an N-shard cluster keeps (N-1)/N of its capacity
+        through a single-shard outage."""
+        if not self.scopes:
+            return 1.0
+        return sum(scope.availability for scope in self.scopes) / len(self.scopes)
+
+    @property
+    def cluster_nines(self) -> float:
+        return nines(self.cluster_availability)
+
+    @property
+    def total_downtime_us(self) -> float:
+        return sum(scope.downtime_us for scope in self.scopes)
+
+    def render(self) -> str:
+        title = (
+            f"Availability (horizon {self.horizon_us / 1000:.2f} ms, "
+            f"{len(self.scopes)} scopes)"
+        )
+        lines = [title, "=" * len(title)]
+        for scope in self.scopes:
+            lines.append(
+                f"  {scope.label:>10}: {scope.availability * 100:8.4f}% "
+                f"({scope.nines:.2f} nines), downtime "
+                f"{scope.downtime_us / 1000:.2f} ms over "
+                f"{scope.failovers} failover(s)"
+            )
+        if not self.scopes:
+            lines.append("  no serving scopes in this trace")
+        lines.append(
+            f"  cluster-wide: {self.cluster_availability * 100:.4f}% "
+            f"({self.cluster_nines:.2f} nines)"
+        )
+        if self.audit_ok is True:
+            lines.append("  trace audit: PASS — serving windows confirmed")
+        elif self.audit_ok is False:
+            lines.append(
+                "  trace audit: FAIL — availability figures are NOT "
+                "trustworthy (see the audit report)"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "horizon_us": self.horizon_us,
+            "cluster_availability": self.cluster_availability,
+            "cluster_nines": self.cluster_nines,
+            "total_downtime_us": self.total_downtime_us,
+            "audit_ok": self.audit_ok,
+            "scopes": [scope.to_dict() for scope in self.scopes],
+        }
+
+
+def _trace_horizon_us(events: Sequence[TraceEvent]) -> float:
+    return max((event.end_us for event in events), default=0.0)
+
+
+def compute_slo(
+    events: Sequence[TraceEvent],
+    horizon_us: Optional[float] = None,
+    audit_ok: Optional[bool] = None,
+    failovers: Optional[Sequence[FailoverSpan]] = None,
+) -> SloReport:
+    """Fold a trace's failover spans into an availability report.
+
+    ``failovers`` can be supplied (e.g. from an already-computed
+    :class:`~repro.obs.report.TimelineReport`) to avoid re-scanning;
+    otherwise they are reconstructed from ``events``. Scopes are the
+    union of every shard that served a transaction and every scope
+    that failed over, so an always-up shard counts in the cluster
+    roll-up with zero downtime.
+    """
+    if horizon_us is None:
+        horizon_us = _trace_horizon_us(events)
+    timeline = analyze_timeline(events)
+    if failovers is None:
+        failovers = timeline.failovers
+
+    scopes: Dict[str, Tuple[float, int, List[Tuple[float, float]]]] = {}
+    for shard in timeline.per_shard_completions:
+        scopes.setdefault(f"shard.{shard}", (0.0, 0, []))
+    for span in failovers:
+        downtime, count, windows = scopes.get(span.scope, (0.0, 0, []))
+        start = span.crash_at_us
+        end = min(span.restored_at_us, horizon_us)
+        charged = max(0.0, end - start)
+        windows.append((start, end))
+        scopes[span.scope] = (downtime + charged, count + 1, windows)
+
+    scope_reports = [
+        ScopeAvailability(
+            scope=scope,
+            horizon_us=horizon_us,
+            downtime_us=downtime,
+            failovers=count,
+            windows=tuple(windows),
+        )
+        for scope, (downtime, count, windows) in sorted(scopes.items())
+    ]
+    return SloReport(
+        horizon_us=horizon_us, scopes=scope_reports, audit_ok=audit_ok
+    )
+
+
+def slo_from_trace_file(
+    path: str, horizon_us: Optional[float] = None, audited: bool = False
+) -> SloReport:
+    """Load a JSONL trace, optionally audit it, and compute its SLO."""
+    from repro.obs.audit import audit_events
+    from repro.obs.export import read_jsonl
+
+    events, _metrics = read_jsonl(path)
+    audit_ok: Optional[bool] = None
+    if audited:
+        audit_ok = audit_events(events).ok
+    return compute_slo(events, horizon_us=horizon_us, audit_ok=audit_ok)

@@ -1,0 +1,331 @@
+"""Causal per-commit spans and critical-path attribution.
+
+The paper's argument is about *where a commit's time goes*: engine
+work on the primary, write doubling onto the SAN, the commit barrier,
+redo shipping through the ring, and the backup's apply (Tables 2/5/7).
+This module turns those phases into a causal span tree per committed
+transaction:
+
+* one parent span named :data:`COMMIT_SPAN` per commit, carrying a
+  fresh ``trace_id``, and
+* one child span named :data:`COMMIT_PHASE` per non-empty phase,
+  linked to the parent via ``parent_id`` and tiled end to end so the
+  phase durations sum exactly to the parent's duration (the invariant
+  :mod:`repro.obs.audit` machine-checks).
+
+Phase durations are *modeled from measured quantities* of that exact
+commit — operation-count deltas folded through the perf calibration
+constants for CPU phases, packet-trace link-occupancy deltas for wire
+phases — never wall-clock, so the spans are deterministic under a
+seed and identical whether or not anything else is observed.
+
+The emitting side is :class:`CommitSpanRecorder` (used by
+:mod:`repro.replication.passive`, :mod:`repro.replication.active` and
+the workload driver); the consuming side is
+:func:`collect_commit_spans` / :func:`attribute_commits`, which
+rebuild the trees from any event stream (live recorder or reloaded
+JSONL) and summarize them per phase with p50/p95/p99.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hardware.specs import SanSpec
+
+#: Event name of a commit's parent span.
+COMMIT_SPAN = "commit.span"
+#: Event name of one phase child span.
+COMMIT_PHASE = "commit.phase"
+
+#: The commit pipeline's phases, in causal order. Passive replication
+#: uses engine -> doubling -> barrier; active uses engine -> ship ->
+#: apply (-> barrier only under 2-safe); standalone engines emit just
+#: the engine phase.
+PHASE_ENGINE = "engine"
+PHASE_DOUBLING = "doubling"
+PHASE_BARRIER = "barrier"
+PHASE_SHIP = "ship"
+PHASE_APPLY = "apply"
+COMMIT_PHASES: Tuple[str, ...] = (
+    PHASE_ENGINE, PHASE_DOUBLING, PHASE_BARRIER, PHASE_SHIP, PHASE_APPLY
+)
+
+#: Engine-counter fields whose per-commit deltas the engine-phase cost
+#: folds through the calibration (mirrors CostModel.engine_cpu_us).
+_ENGINE_DELTA_FIELDS = (
+    "set_ranges", "db_writes", "db_bytes_written", "undo_bytes_copied",
+    "bytes_compared", "mallocs", "frees", "list_ops", "walk_steps",
+    "bump_allocs", "array_pushes",
+)
+
+
+def counters_snapshot(counters) -> Tuple[int, ...]:
+    """The engine-counter fields the phase model charges, as a cheap
+    immutable snapshot taken at ``begin_transaction``."""
+    return tuple(getattr(counters, name) for name in _ENGINE_DELTA_FIELDS)
+
+
+class PhaseCostModel:
+    """Converts one commit's measured deltas into modeled durations.
+
+    Uses the same calibration constants as :class:`~repro.perf.
+    costmodel.CostModel`, applied per commit instead of per run, so a
+    run's phase attribution and its table-level cost breakdown tell
+    one story.
+    """
+
+    def __init__(
+        self,
+        san: SanSpec,
+        calibration=None,
+        workload: Optional[str] = None,
+    ):
+        if calibration is None:
+            # Imported late: repro.perf pulls in the cost model, which
+            # pulls in the workload driver, which imports this module.
+            from repro.perf.calibration import DEFAULT_CALIBRATION
+            calibration = DEFAULT_CALIBRATION
+        self.san = san
+        self.calibration = calibration
+        self.workload = workload
+
+    def base_us(self) -> float:
+        return self.calibration.txn_base_us.get(self.workload, 2.0)
+
+    def engine_us(self, before: Tuple[int, ...], after: Tuple[int, ...]) -> float:
+        """Engine CPU time of one commit from its counter deltas."""
+        c = self.calibration
+        delta = dict(zip(_ENGINE_DELTA_FIELDS,
+                         (b - a for b, a in zip(after, before))))
+        return (
+            self.base_us()
+            + delta["set_ranges"] * c.set_range_us
+            + delta["db_writes"] * c.db_write_us
+            + delta["db_bytes_written"] * c.write_byte_us
+            + delta["undo_bytes_copied"] * c.copy_byte_us
+            + delta["bytes_compared"] * c.compare_byte_us
+            + delta["mallocs"] * c.malloc_us
+            + delta["frees"] * c.free_us
+            + delta["list_ops"] * c.list_op_us
+            + delta["walk_steps"] * c.walk_step_us
+            + delta["bump_allocs"] * c.bump_alloc_us
+            + delta["array_pushes"] * c.array_push_us
+        )
+
+    def apply_us(self, records: int, payload_bytes: int) -> float:
+        """Backup CPU to apply one commit's redo records."""
+        c = self.calibration
+        return records * c.apply_record_us + payload_bytes * c.apply_byte_us
+
+
+class CommitSpanRecorder:
+    """Emits one commit's causal span tree through an observer.
+
+    Usage: accumulate ``(phase, dur_us)`` pairs in pipeline order via
+    :meth:`phase`, then :meth:`finish` emits the parent span and the
+    tiled children and resets for the next commit. Zero-duration
+    phases are skipped (a 1-safe commit has no barrier wait), so every
+    emitted child is a real contributor to the critical path.
+    """
+
+    def __init__(self, observer, component: str):
+        self.observer = observer
+        self.component = component
+        self._phases: List[Tuple[str, float]] = []
+
+    def phase(self, name: str, dur_us: float) -> None:
+        if name not in COMMIT_PHASES:
+            raise ValueError(f"unknown commit phase {name!r}")
+        if dur_us < 0:
+            raise ValueError(f"negative phase duration {dur_us}")
+        if dur_us:
+            self._phases.append((name, dur_us))
+
+    def finish(self, **attrs: object) -> int:
+        """Emit the tree ending at the observer's current time; returns
+        the commit's trace id."""
+        phases, self._phases = self._phases, []
+        total = sum(dur for _, dur in phases)
+        end_us = self.observer.now
+        start_us = end_us - total
+        trace_id = self.observer.new_trace_id()
+        parent_id = self.observer.linked_span(
+            self.component, COMMIT_SPAN, start_us, end_us, trace_id, **attrs
+        )
+        cursor = start_us
+        for name, dur in phases:
+            self.observer.linked_span(
+                self.component, COMMIT_PHASE, cursor, cursor + dur,
+                trace_id, parent_id=parent_id, phase=name,
+            )
+            cursor += dur
+        return trace_id
+
+
+# -- analysis ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CommitSpanTree:
+    """One commit's reconstructed span tree."""
+
+    trace_id: int
+    component: str
+    start_us: float
+    dur_us: float
+    phases: Dict[str, float]
+    attrs: Dict[str, object]
+
+    @property
+    def phase_sum_us(self) -> float:
+        return sum(self.phases.values())
+
+
+def collect_commit_spans(events: Iterable) -> List[CommitSpanTree]:
+    """Rebuild every commit's span tree from an event stream.
+
+    Joins :data:`COMMIT_SPAN` parents to their :data:`COMMIT_PHASE`
+    children through the ``trace_id``/``parent_id`` attrs; works on
+    the live recorder's list or on events reloaded from JSONL.
+    """
+    parents: Dict[int, object] = {}
+    phases: Dict[int, Dict[str, float]] = {}
+    order: List[int] = []
+    for event in events:
+        if event.name == COMMIT_SPAN:
+            span_id = int(event.attrs["span_id"])
+            parents[span_id] = event
+            phases.setdefault(span_id, {})
+            order.append(span_id)
+        elif event.name == COMMIT_PHASE:
+            parent_id = int(event.attrs["parent_id"])
+            by_phase = phases.setdefault(parent_id, {})
+            phase = str(event.attrs["phase"])
+            by_phase[phase] = by_phase.get(phase, 0.0) + event.dur_us
+    trees = []
+    for span_id in order:
+        event = parents[span_id]
+        attrs = {
+            key: value for key, value in event.attrs.items()
+            if key not in ("trace_id", "span_id")
+        }
+        trees.append(
+            CommitSpanTree(
+                trace_id=int(event.attrs["trace_id"]),
+                component=event.component,
+                start_us=event.ts_us,
+                dur_us=event.dur_us,
+                phases=phases[span_id],
+                attrs=attrs,
+            )
+        )
+    return trees
+
+
+@dataclass
+class PhaseAttribution:
+    """Where the commits' time went, phase by phase.
+
+    ``latency`` maps each phase (plus the ``"commit"`` end-to-end
+    total) to a :class:`~repro.obs.report.LatencySummary` with
+    p50/p95/p99 over the per-commit durations.
+    """
+
+    commits: int
+    total_us: float
+    phase_totals: Dict[str, float]
+    latency: Dict[str, object] = field(default_factory=dict)
+
+    def share(self, phase: str) -> float:
+        if not self.total_us:
+            return 0.0
+        return self.phase_totals.get(phase, 0.0) / self.total_us
+
+    def render(self) -> str:
+        lines = []
+        title = (
+            f"Commit critical path ({self.commits} commits, "
+            f"{self.total_us / 1000:.2f} ms total)"
+        )
+        lines.append(title)
+        lines.append("=" * len(title))
+        commit = self.latency.get("commit")
+        if commit is not None and commit.count:
+            lines.append(
+                f"  end-to-end: mean {commit.mean_us:.2f} us, "
+                f"p50 {commit.p50_us:.2f} us, p95 {commit.p95_us:.2f} us, "
+                f"p99 {commit.p99_us:.2f} us"
+            )
+        for phase in COMMIT_PHASES:
+            total = self.phase_totals.get(phase, 0.0)
+            if not total:
+                continue
+            summary = self.latency[phase]
+            lines.append(
+                f"  {phase:>8}: {self.share(phase) * 100:5.1f}%  "
+                f"(mean {summary.mean_us:.2f} us, p50 {summary.p50_us:.2f}, "
+                f"p95 {summary.p95_us:.2f}, p99 {summary.p99_us:.2f}, "
+                f"{summary.count} commits)"
+            )
+        if self.commits == 0:
+            lines.append("  no commit spans in this trace")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "commits": self.commits,
+            "total_us": self.total_us,
+            "phase_totals_us": dict(self.phase_totals),
+            "phase_shares": {
+                phase: self.share(phase) for phase in self.phase_totals
+            },
+            "latency_us": {
+                name: {
+                    "count": summary.count,
+                    "mean": summary.mean_us,
+                    "p50": summary.p50_us,
+                    "p95": summary.p95_us,
+                    "p99": summary.p99_us,
+                    "max": summary.max_us,
+                }
+                for name, summary in self.latency.items()
+            },
+        }
+
+
+def attribute_commits(
+    events: Iterable, component_prefix: Optional[str] = None
+) -> PhaseAttribution:
+    """Summarize the commit span trees in ``events`` per phase.
+
+    ``component_prefix`` restricts the attribution to one scope (e.g.
+    ``"shard.2"``) the way :func:`~repro.obs.trace.select_events` does.
+    """
+    from repro.obs.report import LatencySummary
+
+    trees = collect_commit_spans(events)
+    if component_prefix is not None:
+        trees = [
+            tree for tree in trees
+            if tree.component == component_prefix
+            or tree.component.startswith(component_prefix + ".")
+        ]
+    phase_totals: Dict[str, float] = {}
+    per_phase: Dict[str, List[float]] = {}
+    totals: List[float] = []
+    for tree in trees:
+        totals.append(tree.dur_us)
+        for phase, dur in tree.phases.items():
+            phase_totals[phase] = phase_totals.get(phase, 0.0) + dur
+            per_phase.setdefault(phase, []).append(dur)
+    latency: Dict[str, object] = {"commit": LatencySummary.from_values(totals)}
+    for phase, values in per_phase.items():
+        latency[phase] = LatencySummary.from_values(values)
+    return PhaseAttribution(
+        commits=len(trees),
+        total_us=sum(totals),
+        phase_totals=phase_totals,
+        latency=latency,
+    )

@@ -27,6 +27,15 @@ from repro.hardware.specs import SanSpec, MEMORY_CHANNEL_II
 from repro.memory.mapping import AddressSpace
 from repro.memory.rio import RioMemory
 from repro.obs.observer import resolve_observer
+from repro.obs.spans import (
+    PHASE_APPLY,
+    PHASE_BARRIER,
+    PHASE_ENGINE,
+    PHASE_SHIP,
+    CommitSpanRecorder,
+    PhaseCostModel,
+    counters_snapshot,
+)
 from repro.san.memory_channel import MemoryChannelInterface
 from repro.replication.commit_safety import CommitSafety
 from repro.replication.redo_log import (
@@ -109,9 +118,21 @@ class ActiveReplicatedSystem:
         ack_mapping = self.backup_interface.map_remote(
             self.consumer_region, name="consumer-seq"
         )
-        self.producer = RedoLogProducer(ring_mapping, self.consumer_region)
-        self.applier = RedoLogApplier(self.ring, self.backup_db, ack_mapping)
+        self.producer = RedoLogProducer(
+            ring_mapping, self.consumer_region, observer=self.observer
+        )
+        self.applier = RedoLogApplier(
+            self.ring, self.backup_db, ack_mapping, observer=self.observer
+        )
 
+        if self.observer.enabled:
+            self._spans = CommitSpanRecorder(
+                self.observer, "replication.active"
+            )
+            self._phase_model = PhaseCostModel(san)
+        else:
+            self._spans = None
+        self._txn_counters_base = ()
         self._txn_writes: List[Tuple[int, int]] = []
         self._failed_over = False
         self.redo_records_shipped = 0
@@ -133,6 +154,8 @@ class ActiveReplicatedSystem:
     def begin_transaction(self) -> None:
         self.engine.begin_transaction()
         self._txn_writes = []
+        if self._spans is not None:
+            self._txn_counters_base = counters_snapshot(self.engine.counters)
 
     def set_range(self, offset: int, length: int, hint: str = HINT_RANDOM) -> None:
         self.engine.set_range(offset, length, hint)
@@ -161,6 +184,11 @@ class ActiveReplicatedSystem:
         """
         redo = self._build_redo()
         self.engine.commit_transaction()
+        if self._spans is not None:
+            engine_after = counters_snapshot(self.engine.counters)
+            link_before = self.primary_interface.link_time_us()
+            records_before = self.applier.records_applied
+            payload_before = self.applier.bytes_applied
         self.producer.publish(redo, drain=self.applier.apply_available)
         self.redo_records_shipped += len(redo.records)
         self.redo_bytes_shipped += redo.wire_bytes()
@@ -180,7 +208,31 @@ class ActiveReplicatedSystem:
             self.observer.event(
                 "replication.active", "commit",
                 records=len(redo.records), wire_bytes=redo.wire_bytes(),
-                ring_lag_bytes=lag,
+                ring_lag_bytes=lag, safety=self.safety.value,
+            )
+            self._spans.phase(
+                PHASE_ENGINE,
+                self._phase_model.engine_us(
+                    self._txn_counters_base, engine_after
+                ),
+            )
+            self._spans.phase(
+                PHASE_SHIP,
+                self.primary_interface.link_time_us() - link_before,
+            )
+            self._spans.phase(
+                PHASE_APPLY,
+                self._phase_model.apply_us(
+                    self.applier.records_applied - records_before,
+                    self.applier.bytes_applied - payload_before,
+                ),
+            )
+            self._spans.phase(
+                PHASE_BARRIER, self.safety.barrier_phase_us(self.san)
+            )
+            self._spans.finish(
+                records=len(redo.records), wire_bytes=redo.wire_bytes(),
+                ring_lag_bytes=lag, safety=self.safety.value,
             )
 
     def commit_transaction_losing_publish(self) -> None:

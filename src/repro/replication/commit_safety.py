@@ -23,6 +23,14 @@ class CommitSafety(enum.Enum):
     ONE_SAFE = "1-safe"
     TWO_SAFE = "2-safe"
 
+    @property
+    def waits_for_backup(self) -> bool:
+        """Whether commit may return only after the backup durably has
+        the transaction. This is the contract the trace auditor holds
+        2-safe commits to: a ``commit`` event claiming 2-safe with redo
+        still in flight (nonzero ring lag) is a violation."""
+        return self is CommitSafety.TWO_SAFE
+
     def extra_commit_latency_us(self, san: SanSpec) -> float:
         """Added per-commit latency versus local-only commit.
 
@@ -33,3 +41,9 @@ class CommitSafety(enum.Enum):
         if self is CommitSafety.ONE_SAFE:
             return 0.0
         return 2.0 * san.latency_us
+
+    def barrier_phase_us(self, san: SanSpec) -> float:
+        """Duration of the commit span's ``barrier`` phase under this
+        safety level — the synchronous wait the pipeline cannot hide
+        (:mod:`repro.obs.spans` charges it after the ship phase)."""
+        return self.extra_commit_latency_us(san)

@@ -31,7 +31,16 @@ from repro.memory.mapping import AddressSpace
 from repro.memory.region import MemoryRegion
 from repro.memory.rio import RioMemory
 from repro.obs.observer import resolve_observer
+from repro.obs.spans import (
+    PHASE_BARRIER,
+    PHASE_DOUBLING,
+    PHASE_ENGINE,
+    CommitSpanRecorder,
+    PhaseCostModel,
+    counters_snapshot,
+)
 from repro.san.memory_channel import MemoryChannelInterface
+from repro.replication.commit_safety import CommitSafety
 from repro.replication.writethrough import WriteThroughReplica
 from repro.vista.api import EngineConfig, TransactionEngine, HINT_RANDOM
 from repro.vista.factory import engine_class
@@ -86,6 +95,18 @@ class PassiveReplicatedSystem:
         )
         self._failed_over = False
         self._txn_wire_start = 0
+        # Causal commit spans: phase durations are modeled from this
+        # commit's own counter and packet-trace deltas (repro.obs.spans),
+        # so recording stays a pure observation of the run.
+        if self.observer.enabled:
+            self._spans = CommitSpanRecorder(
+                self.observer, "replication.passive"
+            )
+            self._phase_model = PhaseCostModel(san)
+        else:
+            self._spans = None
+        self._txn_counters_base = ()
+        self._txn_link_start = 0.0
 
     # -- data loading -----------------------------------------------------
 
@@ -102,6 +123,9 @@ class PassiveReplicatedSystem:
     def begin_transaction(self) -> None:
         self.engine.begin_transaction()
         self._txn_wire_start = self.interface.bytes_sent
+        if self._spans is not None:
+            self._txn_counters_base = counters_snapshot(self.engine.counters)
+            self._txn_link_start = self.interface.link_time_us()
 
     def set_range(self, offset: int, length: int, hint: str = HINT_RANDOM) -> None:
         self.engine.set_range(offset, length, hint)
@@ -116,6 +140,11 @@ class PassiveReplicatedSystem:
         """1-safe commit: complete locally, put the commit record on
         the wire, do not wait."""
         self.engine.commit_transaction()
+        if self._spans is not None:
+            # Link occupancy of the doubled transaction body, measured
+            # before the commit barrier drains the residual buffers.
+            link_at_commit = self.interface.link_time_us()
+            doubling_us = link_at_commit - self._txn_link_start
         self.interface.barrier()
         if self.observer.enabled:
             doubled = self.interface.bytes_sent - self._txn_wire_start
@@ -124,6 +153,23 @@ class PassiveReplicatedSystem:
             self.observer.event(
                 "replication.passive", "commit",
                 version=self.version, wire_bytes=doubled,
+                safety=CommitSafety.ONE_SAFE.value,
+            )
+            self._spans.phase(
+                PHASE_ENGINE,
+                self._phase_model.engine_us(
+                    self._txn_counters_base,
+                    counters_snapshot(self.engine.counters),
+                ),
+            )
+            self._spans.phase(PHASE_DOUBLING, doubling_us)
+            self._spans.phase(
+                PHASE_BARRIER,
+                self.interface.link_time_us() - link_at_commit,
+            )
+            self._spans.finish(
+                version=self.version, wire_bytes=doubled,
+                safety=CommitSafety.ONE_SAFE.value,
             )
 
     def abort_transaction(self) -> None:

@@ -30,6 +30,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.errors import CrashedError, RedoLogFullError
 from repro.memory.region import MemoryRegion, WriteCategory
+from repro.obs.observer import resolve_observer
 from repro.san.memory_channel import TransmitMapping
 
 _U64 = struct.Struct("<Q")
@@ -81,9 +82,11 @@ class RedoLogProducer:
         self,
         ring_mapping: TransmitMapping,
         consumer_region: MemoryRegion,
+        observer=None,
     ):
         self.mapping = ring_mapping
         self.consumer_region = consumer_region
+        self.observer = resolve_observer(observer)
         self.capacity = ring_mapping.size - _DATA_START
         self.produced = 0
         self.transactions_published = 0
@@ -125,6 +128,13 @@ class RedoLogProducer:
             )
         if needed > self.free_bytes():
             self.blocked_publishes += 1
+            if self.observer.enabled:
+                self.observer.count("redo.ring.blocked")
+                self.observer.event(
+                    "redo.producer", "ring.blocked",
+                    needed=needed, free=self.free_bytes(),
+                    capacity=self.capacity,
+                )
             return False
         cursor = self.produced
         self._ring_write(cursor, _U32.pack(len(txn.records)), WriteCategory.META)
@@ -147,6 +157,14 @@ class RedoLogProducer:
         self.produced = cursor
         self._publish_pointer()
         self.transactions_published += 1
+        if self.observer.enabled:
+            # The produced/consumed/capacity triple is what lets the
+            # trace auditor prove the producer never laps the consumer.
+            self.observer.event(
+                "redo.producer", "ring.publish",
+                produced=self.produced, consumed=self.consumed,
+                capacity=self.capacity, wire_bytes=needed,
+            )
         return True
 
     def publish(
@@ -170,10 +188,12 @@ class RedoLogApplier:
         ring_region: MemoryRegion,
         db_region: MemoryRegion,
         consumer_mapping: TransmitMapping,
+        observer=None,
     ):
         self.ring = ring_region
         self.db = db_region
         self.consumer_mapping = consumer_mapping
+        self.observer = resolve_observer(observer)
         self.capacity = ring_region.size - _DATA_START
         self.consumed = 0
         self.transactions_applied = 0
@@ -222,6 +242,12 @@ class RedoLogApplier:
         self.consumed = cursor
         self.transactions_applied += 1
         self._ack()
+        if self.observer.enabled:
+            self.observer.event(
+                "redo.applier", "ring.apply",
+                consumed=self.consumed, produced=self.produced,
+                capacity=self.capacity, records=count,
+            )
         return True
 
     def apply_available(self) -> int:

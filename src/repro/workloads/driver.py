@@ -16,6 +16,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.cluster.faults import FaultInjector
+from repro.hardware.specs import MEMORY_CHANNEL_II
+from repro.obs.observer import resolve_observer
+from repro.obs.spans import (
+    PHASE_ENGINE,
+    CommitSpanRecorder,
+    PhaseCostModel,
+    counters_snapshot,
+)
 from repro.san.packets import PacketTrace
 from repro.vista.api import TransactionEngine
 from repro.vista.stats import AccessProfile, EngineCounters
@@ -83,17 +91,30 @@ def run_workload(
     warmup: int = 0,
     fault_injector: Optional[FaultInjector] = None,
     verify: bool = False,
+    observer=None,
 ) -> RunResult:
     """Drive ``transactions`` through ``workload`` against ``target``.
 
     ``warmup`` transactions run first and are excluded from every
     statistic (counters, traffic, packets). When a fault injector is
     supplied, the run stops early if a crash fires.
+
+    With an observer attached the driver emits ``run.start``/``run.end``
+    markers and — for standalone engines, which have no replication
+    pipeline of their own — an engine-only commit span per measured
+    transaction, so phase attribution covers every target kind.
     """
     engine = _engine_of(target)
     interface = getattr(target, "interface", None) or getattr(
         target, "primary_interface", None
     )
+    observer = resolve_observer(observer)
+    # Replicated systems record their own commit spans; the driver only
+    # fills the gap for bare engines.
+    spans = None
+    if observer.enabled and isinstance(target, TransactionEngine):
+        spans = CommitSpanRecorder(observer, f"engine.{target.VERSION}")
+        phase_model = PhaseCostModel(MEMORY_CHANNEL_II, workload=workload.name)
 
     for _ in range(warmup):
         workload.run_transaction(target)
@@ -110,11 +131,28 @@ def run_workload(
         interface.reset_stats()
     redo_baseline = getattr(target, "redo_records_shipped", 0)
 
+    if observer.enabled:
+        observer.event(
+            "workload.driver", "run.start",
+            workload=workload.name, target=_target_kind(target),
+            transactions=transactions,
+        )
+
     executed = 0
     crashed = False
     for _ in range(transactions):
+        if spans is not None:
+            before = counters_snapshot(engine.counters)
         workload.run_transaction(target)
         executed += 1
+        if spans is not None:
+            spans.phase(
+                PHASE_ENGINE,
+                phase_model.engine_us(
+                    before, counters_snapshot(engine.counters)
+                ),
+            )
+            spans.finish(workload=workload.name, safety="local")
         if fault_injector is not None and fault_injector.on_transaction_committed(
             executed
         ):
@@ -123,6 +161,14 @@ def run_workload(
 
     if verify and not crashed:
         workload.verify(target)
+
+    if observer.enabled:
+        observer.count("workload.driver.transactions", executed)
+        observer.event(
+            "workload.driver", "run.end",
+            workload=workload.name, target=_target_kind(target),
+            transactions=executed, crashed=crashed,
+        )
 
     result = RunResult(
         workload=workload.name,

@@ -1,0 +1,97 @@
+"""Chrome trace_event export of causal commit spans.
+
+The causal links (trace_id / span_id / parent_id) live in event attrs,
+so they must survive both exporters: the JSONL round trip must rebuild
+identical span trees, and the Chrome export must carry the links in
+``args`` on phase-``X`` complete events — that is what makes a commit
+render as a parent bar with tiled phase bars under it in Perfetto.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Observer, chrome_trace_dict, read_jsonl, write_jsonl
+from repro.obs.export import write_chrome_trace
+from repro.obs.spans import COMMIT_PHASE, COMMIT_SPAN, collect_commit_spans
+from repro.obs.trace import KIND_SPAN
+from repro.replication.active import ActiveReplicatedSystem
+from repro.workloads.debit_credit import DebitCreditWorkload
+from repro.workloads.driver import run_workload
+
+
+def _traced_run(seed, transactions=10):
+    observer = Observer()
+    system = ActiveReplicatedSystem(observer=observer)
+    workload = DebitCreditWorkload(system.config.db_bytes, seed=seed)
+    system.sync_initial()
+    run_workload(system, workload, transactions)
+    return list(observer.recorder.events)
+
+
+@pytest.mark.parametrize("seed", [11, 2026])
+def test_span_links_survive_jsonl_round_trip(tmp_path, seed):
+    events = _traced_run(seed)
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(path, events)
+    reloaded, _ = read_jsonl(path)
+    assert reloaded == events
+    assert collect_commit_spans(reloaded) == collect_commit_spans(events)
+    # Every parent/child link resolves after the round trip.
+    parents = {
+        e.attrs["span_id"] for e in reloaded if e.name == COMMIT_SPAN
+    }
+    children = [e for e in reloaded if e.name == COMMIT_PHASE]
+    assert children
+    assert all(c.attrs["parent_id"] in parents for c in children)
+
+
+@pytest.mark.parametrize("seed", [11, 2026])
+def test_chrome_export_keeps_parent_links(seed):
+    events = _traced_run(seed)
+    chrome = chrome_trace_dict(events)
+    complete = [e for e in chrome["traceEvents"] if e.get("ph") == "X"]
+    span_events = [e for e in events if e.kind == KIND_SPAN]
+    assert len(complete) == len(span_events)
+    parent_records = [
+        record for record in complete if record["name"] == COMMIT_SPAN
+    ]
+    child_records = [
+        record for record in complete if record["name"] == COMMIT_PHASE
+    ]
+    assert parent_records and child_records
+    parent_ids = {record["args"]["span_id"] for record in parent_records}
+    for record in child_records:
+        assert record["args"]["parent_id"] in parent_ids
+        assert record["args"]["trace_id"]
+        assert record["dur"] > 0
+    # Parents and their children ride the same component lane.
+    by_id = {record["args"]["span_id"]: record for record in parent_records}
+    for record in child_records:
+        parent = by_id[record["args"]["parent_id"]]
+        assert record["tid"] == parent["tid"]
+        assert record["ts"] >= parent["ts"]
+        assert record["ts"] + record["dur"] <= (
+            parent["ts"] + parent["dur"] + 1e-9
+        )
+
+
+def test_chrome_file_is_valid_json(tmp_path):
+    events = _traced_run(seed=11, transactions=4)
+    path = tmp_path / "trace.chrome.json"
+    write_chrome_trace(path, events)
+    payload = json.loads(path.read_text())
+    assert payload["displayTimeUnit"] == "ms"
+    names = {record["name"] for record in payload["traceEvents"]}
+    assert COMMIT_SPAN in names and COMMIT_PHASE in names
+
+
+def test_seeded_runs_reproduce_identical_span_trees():
+    # The trace records sizes and counts, never account contents, and
+    # Debit-Credit commits do fixed-shape work — so a re-run under the
+    # same seed must rebuild the exact same span trees.
+    first = collect_commit_spans(_traced_run(11))
+    second = collect_commit_spans(_traced_run(2026))
+    assert len(first) == len(second) == 10
+    assert collect_commit_spans(_traced_run(11)) == first
+    assert collect_commit_spans(_traced_run(2026)) == second

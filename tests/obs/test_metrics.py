@@ -122,3 +122,73 @@ def test_snapshot_is_json_safe_and_stable():
     assert list(snap["counters"]) == ["a", "b"]
     assert snap["histograms"]["h"]["count"] == 1
     json.dumps(snap)  # must not raise
+
+
+def test_histogram_merge_folds_everything():
+    a = Histogram("h")
+    b = Histogram("h")
+    for value in (2.0, 30.0):
+        a.observe(value)
+    for value in (700.0, 0.5):
+        b.observe(value)
+    a.merge(b)
+    assert a.count == 4
+    assert a.sum == pytest.approx(732.5)
+    assert a.min == 0.5
+    assert a.max == 700.0
+    assert sum(a.bucket_counts) == 4
+    # Merging an empty histogram changes nothing.
+    before = (list(a.bucket_counts), a.count, a.sum, a.min, a.max)
+    a.merge(Histogram("h"))
+    assert (list(a.bucket_counts), a.count, a.sum, a.min, a.max) == before
+
+
+def test_histogram_merge_rejects_mismatched_bounds():
+    a = Histogram("h", bounds=(1.0, 2.0))
+    b = Histogram("h", bounds=(1.0, 3.0))
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_registry_merge_by_kind():
+    left = MetricsRegistry()
+    left.counter("txns").inc(10)
+    left.gauge("lag").set(5.0)
+    left.histogram("lat").observe(3.0)
+    right = MetricsRegistry()
+    right.counter("txns").inc(7)
+    right.counter("only.right").inc(1)
+    right.gauge("lag").set(2.0)
+    right.histogram("lat").observe(40.0)
+    left.merge(right)
+    assert left.value("txns") == 17  # counters add
+    assert left.value("only.right") == 1
+    assert left.value("lag") == 2.0  # gauges: last write wins
+    assert left.histogram("lat").count == 2
+
+
+def test_merge_snapshot_equals_live_merge():
+    def build(shift):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3 + shift)
+        registry.gauge("g").set(float(shift))
+        hist = registry.histogram("h")
+        hist.observe(1.0 + shift)
+        hist.observe(600.0)
+        return registry
+
+    live = build(0)
+    live.merge(build(4))
+
+    from_snapshot = build(0)
+    from_snapshot.merge_snapshot(build(4).snapshot())
+    assert from_snapshot.snapshot() == live.snapshot()
+
+
+def test_merge_snapshot_into_empty_registry():
+    source = MetricsRegistry()
+    source.counter("c").inc(2)
+    source.histogram("h").observe(9.0)
+    target = MetricsRegistry()
+    target.merge_snapshot(source.snapshot())
+    assert target.snapshot() == source.snapshot()

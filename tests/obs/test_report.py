@@ -122,3 +122,75 @@ def test_cli_module_entrypoint(tmp_path):
     )
     assert proc.returncode == 0, proc.stderr
     assert "Failover timeline" in proc.stdout
+
+
+def test_latency_summary_p99_and_to_dict():
+    summary = LatencySummary.from_values(list(range(1, 101)))
+    assert summary.p99_us == 99
+    payload = summary.to_dict()
+    assert payload["p99_us"] == 99
+    assert payload["count"] == 100
+
+
+def test_timeline_to_dict_shape():
+    report = analyze_timeline(_failover_events(), window_us=1_000.0)
+    payload = report.to_dict()
+    assert payload["completions"] == 12
+    assert payload["failovers"][0]["shard"] == 1
+    assert payload["failovers"][0]["downtime_us"] == 7_500.0
+    assert payload["routing"]["retries"] == 1
+    assert payload["latency_us"]["p50_us"] == 50.0
+    assert payload["per_shard_completions"] == {"0": 12}
+    assert payload["window_counts"] == [1] * 12
+
+
+def test_cli_audit_slo_spans_text(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    write_jsonl(trace, _failover_events())
+    assert main([str(trace), "--audit", "--slo"]) == 0
+    out = capsys.readouterr().out
+    assert "Trace audit: PASS" in out
+    assert "Availability" in out
+    assert "serving windows confirmed" in out
+
+
+def test_cli_audit_fails_on_violations(tmp_path, capsys):
+    events = _failover_events()
+    # A completion on the crashed shard inside its downtime window.
+    events.append(TraceEvent(3_000.0, "router", "txn.complete",
+                             attrs={"shard": 1, "latency_us": 5.0}))
+    trace = tmp_path / "bad.jsonl"
+    write_jsonl(trace, events)
+    assert main([str(trace), "--audit"]) == 1
+    out = capsys.readouterr().out
+    assert "downtime-completion" in out
+    # Without --audit the same trace renders fine and exits 0.
+    assert main([str(trace)]) == 0
+
+
+def test_cli_json_format_sections(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "t.jsonl"
+    write_jsonl(trace, _failover_events())
+    assert main([str(trace), "--audit", "--slo", "--spans",
+                 "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"timeline", "audit", "slo", "attribution"}
+    assert payload["audit"]["ok"] is True
+    assert payload["slo"]["audit_ok"] is True
+    assert payload["timeline"]["routing"]["completed"] == 12
+    assert payload["attribution"]["commits"] == 0
+    # The crashed shard's availability reflects its 7.5 ms outage.
+    scopes = {s["scope"]: s for s in payload["slo"]["scopes"]}
+    assert scopes["shard.1"]["downtime_us"] == 7_500.0
+
+
+def test_cli_json_without_sections_is_timeline_only(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "t.jsonl"
+    write_jsonl(trace, _failover_events())
+    assert main([str(trace), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"timeline"}
