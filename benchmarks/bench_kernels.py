@@ -1,0 +1,298 @@
+"""Wall-clock benchmark of the simulator-core kernels.
+
+Measures three things and writes them to the root ``BENCH_kernels.json``
+(the perf-trajectory tracker reads root-level ``BENCH_*.json`` files):
+
+* **events** — simulator-core microbenchmark: events/second through a
+  poll-dominated SMP simulation (reference tuple heap, the deployed
+  queue for irregular schedules) and through a heartbeat-shaped
+  schedule on the bucketed wheel versus the reference heap (the
+  wheel's deployment shape).
+* **diff** — big-int XOR diff kernel MB/s versus the reference
+  word-at-a-time loop, on sparse (record-sized modification) and dense
+  (every word differs) buffer pairs.
+* **grid** — the full ``repro-experiments`` grid end to end, kernels
+  on versus ``--no-fastpath``, golden-diffed, with the speedup against
+  the committed PR 4 baseline (``benchmarks/BENCH_fastpath.json``,
+  measured on the same container class) reported alongside.
+
+Usage::
+
+    python benchmarks/bench_kernels.py                      # measure
+    python benchmarks/bench_kernels.py --check BENCH_kernels.json
+
+``--check BASELINE`` compares *speedup ratios* (not absolute seconds)
+and exits non-zero if any measured speedup fell below 80% of the
+committed baseline's — the CI guard against quietly losing the
+kernels.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+MB = 1024 * 1024
+
+
+# -- events/sec -------------------------------------------------------------
+
+
+def _run_heartbeats(queue, members=64, interval=1000.0, duration=1_000_000.0):
+    from repro.sim.engine import Simulator
+
+    sim = Simulator(queue=queue)
+
+    def beat(member):
+        sim.schedule_after(interval, lambda: beat(member), name="heartbeat")
+
+    for member in range(members):
+        beat(member)
+    started = time.perf_counter()
+    sim.run(until=duration)
+    return time.perf_counter() - started, sim.events_processed
+
+
+def bench_events() -> dict:
+    from repro.perf.smp_sim import simulate_smp
+    from repro.sim.events import BucketedEventQueue, EventQueue
+
+    # Poll-dominated irregular schedule: the deployed reference heap.
+    started = time.perf_counter()
+    result = simulate_smp(5.0, [[32] * 6], 4, duration_us=10_000.0)
+    poll_wall = time.perf_counter() - started
+
+    heap_wall, heap_events = _run_heartbeats(EventQueue())
+    wheel_wall, wheel_events = _run_heartbeats(BucketedEventQueue())
+    assert heap_events == wheel_events
+    return {
+        "poll_sim_s": round(poll_wall, 3),
+        "poll_sim_tps": round(result.aggregate_tps, 1),
+        "heartbeat_events": heap_events,
+        "heap_events_per_s": round(heap_events / heap_wall, 0),
+        "wheel_events_per_s": round(wheel_events / wheel_wall, 0),
+        "wheel_speedup": round(heap_wall / wheel_wall, 3),
+    }
+
+
+# -- diff MB/s --------------------------------------------------------------
+
+
+def _time_diff(fn, old, new, repeats) -> float:
+    started = time.perf_counter()
+    for _ in range(repeats):
+        fn(old, new)
+    return time.perf_counter() - started
+
+
+def bench_diff() -> dict:
+    from repro.fastpath.kernels import diff_runs_fast
+    from repro.vista.v2_mirror_diff import diff_runs
+
+    reference = lambda old, new: list(diff_runs(old, new))  # noqa: E731
+
+    # Sparse: a 64 KiB range with a handful of modified records —
+    # the shape MirrorDiffEngine sees per commit.
+    sparse_old = bytes(64 * 1024)
+    sparse_new = bytearray(sparse_old)
+    for position in range(0, len(sparse_new), 4096):
+        sparse_new[position : position + 64] = b"\xa5" * 64
+    sparse_new = bytes(sparse_new)
+    # Dense: every word differs.
+    dense_old = bytes(64 * 1024)
+    dense_new = b"\xff" * (64 * 1024)
+
+    assert diff_runs_fast(sparse_old, sparse_new) == reference(sparse_old, sparse_new)
+    assert diff_runs_fast(dense_old, dense_new) == reference(dense_old, dense_new)
+
+    report = {}
+    for label, old, new, repeats in (
+        ("sparse", sparse_old, sparse_new, 40),
+        ("dense", dense_old, dense_new, 10),
+    ):
+        slow_s = _time_diff(reference, old, new, repeats)
+        fast_s = _time_diff(diff_runs_fast, old, new, repeats)
+        volume_mb = len(old) * repeats / MB
+        report[label] = {
+            "reference_mb_per_s": round(volume_mb / slow_s, 1),
+            "kernel_mb_per_s": round(volume_mb / fast_s, 1),
+            "speedup": round(slow_s / fast_s, 2),
+        }
+    return report
+
+
+# -- end-to-end grid --------------------------------------------------------
+
+
+def _run_grid(extra_args, transactions: int, output_path: str) -> float:
+    command = [
+        sys.executable, "-m", "repro.experiments.runner",
+        "--transactions", str(transactions),
+    ] + extra_args
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_FASTPATH", None)
+    started = time.perf_counter()
+    with open(output_path, "w") as handle:
+        subprocess.run(command, check=True, env=env, stdout=handle)
+    return time.perf_counter() - started
+
+
+def _tables_of(path: str) -> list:
+    lines = Path(path).read_text().splitlines()
+    return [line for line in lines if not line.startswith("[all experiments")]
+
+
+def bench_grid(transactions: int) -> dict:
+    slow_s = _run_grid(["--no-fastpath"], transactions, "grid-kernels-reference.txt")
+    fast_s = _run_grid([], transactions, "grid-kernels-fast.txt")
+    identical = _tables_of("grid-kernels-reference.txt") == _tables_of(
+        "grid-kernels-fast.txt"
+    )
+    report = {
+        "transactions": transactions,
+        "reference_s": round(slow_s, 3),
+        "kernels_s": round(fast_s, 3),
+        "speedup": round(slow_s / fast_s, 3),
+        "output_identical": identical,
+    }
+    # Speedup over the committed PR 4 grid wall-clock, when this run
+    # matches the baseline's transaction count (same container class;
+    # informational on other machines).
+    pr4_path = REPO / "benchmarks" / "BENCH_fastpath.json"
+    if pr4_path.exists():
+        pr4 = json.loads(pr4_path.read_text()).get("grid", {})
+        if pr4.get("transactions") == transactions and pr4.get("fast_jobs_s"):
+            report["pr4_fastpath_s"] = pr4["fast_jobs_s"]
+            report["speedup_vs_pr4"] = round(pr4["fast_jobs_s"] / fast_s, 3)
+    return report
+
+
+# -- check / main -----------------------------------------------------------
+
+#: (section path, speedup key) pairs gated by --check.
+_GATES = [
+    ("events", "wheel_speedup"),
+    ("diff.sparse", "speedup"),
+    ("diff.dense", "speedup"),
+    ("grid", "speedup_vs_pr4"),
+]
+
+
+def _lookup(report: dict, dotted: str):
+    node = report
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check(report: dict, baseline_path: str, tolerance: float = 0.8) -> int:
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    failures = []
+    for section, key in _GATES:
+        measured_section = _lookup(report, section)
+        baseline_section = _lookup(baseline, section)
+        if not measured_section or not baseline_section:
+            continue
+        measured = measured_section.get(key)
+        reference = baseline_section.get(key)
+        if measured is None or reference is None:
+            continue
+        floor = reference * tolerance
+        status = "ok" if measured >= floor else "REGRESSED"
+        print(
+            f"[{section}.{key}] {measured:.2f}x vs baseline "
+            f"{reference:.2f}x (floor {floor:.2f}x): {status}"
+        )
+        if measured < floor:
+            failures.append(f"{section}.{key}")
+    if failures:
+        print(f"FAIL: kernels regressed >20% on: {', '.join(failures)}")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--transactions", type=int, default=1000)
+    parser.add_argument(
+        "--output", default=str(REPO / "BENCH_kernels.json"),
+        help="where to write the measured report (default: repo root)",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare speedups against a committed baseline JSON; "
+        "exit 1 on a >20%% regression",
+    )
+    parser.add_argument(
+        "--skip-grid", action="store_true",
+        help="microbenchmarks only (quick local iteration)",
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "machine": {
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "events": bench_events(),
+        "diff": bench_diff(),
+    }
+    events = report["events"]
+    print(
+        f"[events] heap {events['heap_events_per_s']:.0f}/s, wheel "
+        f"{events['wheel_events_per_s']:.0f}/s on heartbeats "
+        f"({events['wheel_speedup']}x)"
+    )
+    for label in ("sparse", "dense"):
+        diff = report["diff"][label]
+        print(
+            f"[diff:{label}] {diff['reference_mb_per_s']} -> "
+            f"{diff['kernel_mb_per_s']} MB/s ({diff['speedup']}x)"
+        )
+    if not args.skip_grid:
+        report["grid"] = bench_grid(args.transactions)
+        grid = report["grid"]
+        line = (
+            f"[grid] reference {grid['reference_s']}s -> kernels "
+            f"{grid['kernels_s']}s ({grid['speedup']}x)"
+        )
+        if "speedup_vs_pr4" in grid:
+            line += (
+                f"; {grid['speedup_vs_pr4']}x vs the PR 4 fastpath "
+                f"baseline ({grid['pr4_fastpath_s']}s)"
+            )
+        print(line)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[report written to {args.output}]")
+    if "grid" in report:
+        if not report["grid"]["output_identical"]:
+            print(
+                "FAIL: kernels grid output differs from the --no-fastpath "
+                "reference (see grid-kernels-reference.txt / "
+                "grid-kernels-fast.txt)"
+            )
+            return 1
+        print("[grid] kernels output is byte-identical to the reference")
+    if args.check:
+        return check(report, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ from repro.obs.observer import resolve_observer
 from repro.replication.active import ActiveReplicatedSystem
 from repro.replication.passive import PassiveReplicatedSystem
 from repro.sim.engine import Simulator
+from repro.sim.events import SHAPE_SHARED, default_event_queue
 from repro.vista.api import EngineConfig, TransactionEngine
 
 
@@ -86,7 +87,15 @@ class ReplicatedCluster:
         self.on_failover = on_failover
         self.observer = resolve_observer(observer)
 
-        self.sim = sim if sim is not None else Simulator(observer=self.observer)
+        # Standalone pairs are heartbeat/timeout driven: shared-shape
+        # timestamps, so the fast path picks the wheel queue.
+        self.sim = (
+            sim
+            if sim is not None
+            else Simulator(
+                observer=self.observer, queue=default_event_queue(SHAPE_SHARED)
+            )
+        )
         self.observer.bind_clock(lambda: self.sim.now)
         self.primary_node = Node(primary_name)
         self.backup_node = Node(backup_name)

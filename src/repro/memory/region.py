@@ -63,8 +63,28 @@ Observer = Callable[[WriteEvent], None]
 FastObserver = Callable[[int, int, WriteCategory], None]
 
 
+#: Shared fill source: one reused zero page instead of a
+#: size-of-region temporary per :meth:`MemoryRegion.fill` call.
+_FILL_PAGE_BYTES = 1 << 16
+_ZERO_PAGE = bytes(_FILL_PAGE_BYTES)
+
+
 class MemoryRegion:
     """A contiguous, bounds-checked byte array with write observers."""
+
+    __slots__ = (
+        "name",
+        "size",
+        "base",
+        "data",
+        "_observers",
+        "_fast_observers",
+        "_protected",
+        "_crashed",
+        "_window",
+        "writes_observed",
+        "bytes_written",
+    )
 
     def __init__(self, name: str, size: int, base: int = 0):
         if size <= 0:
@@ -169,6 +189,14 @@ class MemoryRegion:
         self._check_bounds(offset, length)
         return bytes(self.data[offset : offset + length])
 
+    def view(self, offset: int, length: int) -> memoryview:
+        """A read-only zero-copy view of ``[offset, offset+length)``.
+
+        Same bounds and crash checks as :meth:`read`; callers that only
+        scan the bytes (the diff kernels) avoid the copy."""
+        self._check_bounds(offset, length)
+        return memoryview(self.data).toreadonly()[offset : offset + length]
+
     def copy_within(
         self,
         src_offset: int,
@@ -176,8 +204,33 @@ class MemoryRegion:
         length: int,
         category: WriteCategory = WriteCategory.UNDO,
     ) -> None:
-        """bcopy inside the region (observers see the destination write)."""
-        self.write(dst_offset, self.read(src_offset, length), category)
+        """bcopy inside the region (observers see the destination write).
+
+        Moves the bytes through one ``memoryview`` slice assignment
+        (bytearray slice assignment copies when source and destination
+        share a buffer, so overlap is safe) instead of the seed's
+        read-then-write pair, which materialized an intermediate
+        ``bytes``. Observers and statistics see exactly what a
+        ``write(dst_offset, ...)`` of the same bytes would have shown.
+        """
+        self._check_bounds(src_offset, length)
+        if length == 0:
+            return
+        self._check_bounds(dst_offset, length)
+        self._check_protection(dst_offset, length)
+        data = self.data
+        data[dst_offset : dst_offset + length] = memoryview(data)[
+            src_offset : src_offset + length
+        ]
+        self.writes_observed += 1
+        self.bytes_written += length
+        if self._fast_observers:
+            for fast_observer in self._fast_observers:
+                fast_observer(dst_offset, length, category)
+        if self._observers:
+            event = WriteEvent(self, dst_offset, length, category)
+            for observer in self._observers:
+                observer(event)
 
     def poke(self, offset: int, data: bytes) -> None:
         """Setup-phase write: stores ``data`` without notifying
@@ -192,9 +245,25 @@ class MemoryRegion:
         """Set every byte to ``value`` without notifying observers.
 
         Used for initialization, which the paper does not count as
-        replication traffic.
+        replication traffic. Copies from a fixed-size fill page instead
+        of materializing a size-of-region temporary (the seed built
+        ``bytes([value]) * size`` — a second full-region allocation —
+        on every call).
         """
-        self.data[:] = bytes([value]) * self.size
+        if not 0 <= value <= 255:
+            raise ValueError(f"fill value {value} is not a byte")
+        size = self.size
+        if value == 0:
+            page = _ZERO_PAGE
+        else:
+            page = bytes((value,)) * min(size, _FILL_PAGE_BYTES)
+        data = self.data
+        step = len(page)
+        whole = size - size % step
+        for start in range(0, whole, step):
+            data[start : start + step] = page
+        if whole < size:
+            data[whole:size] = page[: size - whole]
 
     def snapshot(self) -> bytes:
         """An immutable copy of the entire region's contents."""

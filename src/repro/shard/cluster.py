@@ -31,6 +31,7 @@ from repro.obs.observer import resolve_observer
 from repro.shard.shardmap import ShardMap
 from repro.shard.workload import ShardedWorkload
 from repro.sim.engine import Simulator
+from repro.sim.events import SHAPE_SHARED, default_event_queue
 from repro.vista.api import EngineConfig
 
 
@@ -62,7 +63,11 @@ class ShardedCluster:
             raise ConfigurationError("need at least one shard")
         self.num_shards = num_shards
         self.observer = resolve_observer(observer)
-        self.sim = Simulator(observer=self.observer)
+        # Heartbeat chains across 2N nodes collide on exact
+        # timestamps constantly: the shared-shape (wheel) queue.
+        self.sim = Simulator(
+            observer=self.observer, queue=default_event_queue(SHAPE_SHARED)
+        )
         self.shard_map = ShardMap()
         self.pairs: List[ReplicatedCluster] = []
         #: Per-shard scoped views of the observer ("shard.N.…" names).

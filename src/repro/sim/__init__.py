@@ -8,7 +8,14 @@ random-number helpers so every simulation is reproducible.
 """
 
 from repro.sim.clock import VirtualClock
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import (
+    BucketedEventQueue,
+    Event,
+    EventQueue,
+    SHAPE_IRREGULAR,
+    SHAPE_SHARED,
+    default_event_queue,
+)
 from repro.sim.engine import Simulator
 from repro.sim.process import Process, sleep, wait_for
 from repro.sim.rng import SeedSequence, make_rng
@@ -17,6 +24,10 @@ __all__ = [
     "VirtualClock",
     "Event",
     "EventQueue",
+    "BucketedEventQueue",
+    "SHAPE_IRREGULAR",
+    "SHAPE_SHARED",
+    "default_event_queue",
     "Simulator",
     "Process",
     "sleep",

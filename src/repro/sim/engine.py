@@ -12,7 +12,7 @@ from typing import Any, Callable, Optional
 from repro.errors import SimulationError
 from repro.obs.observer import resolve_observer
 from repro.sim.clock import VirtualClock
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import Event, EventQueue, default_event_queue
 
 
 class Simulator:
@@ -21,6 +21,11 @@ class Simulator:
     An attached observer (default: the no-op ``NULL_OBSERVER``) gets
     this simulator's clock as its time source and sees per-event
     counters and the queue depth; it never influences execution.
+
+    The event queue defaults to the bucketed wheel when the fast path
+    is on and the reference heap under ``REPRO_FASTPATH=0``; both pop
+    in identical (time, seq) order. Pass ``queue`` to pin either
+    implementation explicitly.
 
     Example:
         >>> sim = Simulator()
@@ -32,9 +37,9 @@ class Simulator:
         [5.0]
     """
 
-    def __init__(self, start_time: float = 0.0, observer=None):
+    def __init__(self, start_time: float = 0.0, observer=None, queue=None):
         self.clock = VirtualClock(start_time)
-        self.queue = EventQueue()
+        self.queue = default_event_queue() if queue is None else queue
         self.observer = resolve_observer(observer)
         self.observer.bind_clock(lambda: self.clock.now)
         self._running = False
@@ -93,23 +98,40 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         executed = 0
+        queue = self.queue
+        pop_until = queue.pop_until
+        advance_to = self.clock.advance_to
+        observer = self.observer
         try:
-            while True:
-                if max_events is not None and executed >= max_events:
-                    break
-                next_time = self.queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self.clock.advance_to(until)
-                    break
-                if not self.step():
-                    break
-                executed += 1
+            if max_events is None and not observer.enabled:
+                # Hot loop: one heap traversal per event (pop_until
+                # fuses the old peek_time + pop pair) and no per-event
+                # bookkeeping beyond the counter.
+                while True:
+                    event = pop_until(until)
+                    if event is None:
+                        break
+                    advance_to(event.time)
+                    executed += 1
+                    event.action()
+            else:
+                while True:
+                    if max_events is not None and executed >= max_events:
+                        break
+                    event = pop_until(until)
+                    if event is None:
+                        break
+                    advance_to(event.time)
+                    executed += 1
+                    if observer.enabled:
+                        observer.count("sim.events")
+                        observer.gauge("sim.queue_depth", len(queue))
+                    event.action()
             if until is not None and self.now < until:
-                self.clock.advance_to(until)
+                advance_to(until)
         finally:
             self._running = False
+            self._events_processed += executed
         return self.now
 
     def __repr__(self) -> str:

@@ -14,22 +14,25 @@ performance experiments use plain cost accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
 from repro.errors import SimulationError
 from repro.sim.engine import Simulator
 
 
-@dataclass
 class _Sleep:
-    delay: float
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        self.delay = delay
 
 
-@dataclass
 class _WaitFor:
-    predicate: Callable[[], bool]
-    poll: float
+    __slots__ = ("predicate", "poll")
+
+    def __init__(self, predicate: Callable[[], bool], poll: float):
+        self.predicate = predicate
+        self.poll = poll
 
 
 def sleep(delay: float) -> _Sleep:
@@ -47,6 +50,8 @@ def wait_for(predicate: Callable[[], bool], poll: float = 0.1) -> _WaitFor:
 
 class Process:
     """Drives a generator through the simulator's event queue."""
+
+    __slots__ = ("sim", "generator", "name", "finished", "result")
 
     def __init__(
         self,
@@ -88,9 +93,22 @@ class Process:
             )
 
     def _poll(self, command: _WaitFor) -> None:
-        if command.predicate():
-            self.sim.schedule_after(0.0, self._resume, name=self.name)
-        else:
-            self.sim.schedule_after(
-                command.poll, lambda: self._poll(command), name=f"{self.name}:poll"
-            )
+        # One closure serves every poll tick of this wait (the seed
+        # allocated a fresh lambda and a fresh f-string name per tick;
+        # busy-wait loops tick millions of times per run). Behavior —
+        # predicate checked synchronously, resume at +0.0, retry after
+        # ``poll`` — is unchanged.
+        predicate = command.predicate
+        poll = command.poll
+        schedule_after = self.sim.schedule_after
+        resume = self._resume
+        resume_name = self.name
+        poll_name = f"{self.name}:poll"
+
+        def tick() -> None:
+            if predicate():
+                schedule_after(0.0, resume, name=resume_name)
+            else:
+                schedule_after(poll, tick, name=poll_name)
+
+        tick()

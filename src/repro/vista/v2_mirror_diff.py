@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterator, Tuple
 
+import repro.fastpath
 from repro.memory.region import WriteCategory
 from repro.vista.v1_mirror_copy import MirrorCopyEngine
 
@@ -26,7 +27,12 @@ def diff_runs(old: bytes, new: bytes, word: int = _WORD) -> Iterator[Tuple[int, 
     """Yield (offset, length) runs of words where ``new`` differs from
     ``old``. Offsets are relative to the start of the buffers; runs are
     maximal and word-aligned (a trailing partial word is treated as one
-    word)."""
+    word).
+
+    This is the reference implementation; the fast path routes the
+    same comparison through the big-int XOR kernel
+    (:func:`repro.fastpath.kernels.diff_runs_fast`), which a Hypothesis
+    suite holds equal to this loop run-for-run."""
     if len(old) != len(new):
         raise ValueError("diff buffers must have equal length")
     length = len(old)
@@ -54,11 +60,23 @@ class MirrorDiffEngine(MirrorCopyEngine):
     def _update_mirror(self, offset: int, length: int) -> None:
         """Refresh the mirror for one committed range by comparing the
         two copies and writing only the differing runs."""
-        current = self.db.read(offset, length)
-        committed = self.mirror.read(offset, length)
+        if repro.fastpath.enabled():
+            # Kernel path: zero-copy views of both regions, big-int XOR
+            # scan. Identical runs, identical mirror writes and counts.
+            from repro.fastpath.kernels import diff_runs_fast
+
+            with self.db.view(offset, length) as current_view, self.mirror.view(
+                offset, length
+            ) as committed_view:
+                runs = diff_runs_fast(committed_view, current_view)
+            current = self.db.read(offset, length)
+        else:
+            current = self.db.read(offset, length)
+            committed = self.mirror.read(offset, length)
+            runs = diff_runs(committed, current)
         self.counters.bytes_compared += length
         self.profile.touch_random("mirror", offset, length)
-        for run_offset, run_length in diff_runs(committed, current):
+        for run_offset, run_length in runs:
             self.mirror.write(
                 offset + run_offset,
                 current[run_offset : run_offset + run_length],

@@ -1,0 +1,62 @@
+"""Golden-grid check for the simulator-core kernels.
+
+The full experiment grid — every table and figure — must print
+byte-identical output with the kernels on (bucketed event queues,
+big-int diff, slab region ops), with every kernel off
+(``REPRO_FASTPATH=0``: reference heap, reference word-at-a-time diff),
+and with the process-parallel runner (``--jobs 2``). Each
+configuration runs in its own subprocess so the environment switch is
+exercised exactly the way a user would flip it.
+
+This is the kernels-layer counterpart of the store-pipeline
+equivalence tests in ``test_equivalence.py``; CI repeats the same diff
+at the full ``--transactions 1000`` via ``bench_kernels.py``.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent.parent / "src")
+
+#: Small transaction count: the grid's checks all hold at any count,
+#: and the SMP event simulations (the slow part) are count-independent.
+TRANSACTIONS = "60"
+
+
+def _run_grid(extra_args=(), env_overrides=()):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("REPRO_FASTPATH", None)
+    env.update(dict(env_overrides))
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiments.runner",
+            "--transactions",
+            TRANSACTIONS,
+            *extra_args,
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    # Everything except the final wall-clock line must match exactly.
+    lines = result.stdout.splitlines()
+    assert lines[-1].startswith("[all experiments passed")
+    return "\n".join(lines[:-1])
+
+
+def test_grid_byte_identical_kernels_on_off_and_parallel():
+    kernels_on = _run_grid()
+    kernels_off_flag = _run_grid(extra_args=("--no-fastpath",))
+    kernels_off_env = _run_grid(env_overrides=(("REPRO_FASTPATH", "0"),))
+    parallel = _run_grid(extra_args=("--jobs", "2"))
+    assert kernels_on == kernels_off_flag
+    assert kernels_off_env == kernels_off_flag
+    assert parallel == kernels_on

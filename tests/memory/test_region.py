@@ -89,6 +89,65 @@ def test_copy_within():
     assert region.read(32, 4) == b"data"
 
 
+def test_copy_within_notifies_observers_like_a_write():
+    region = MemoryRegion("r", 64)
+    events = []
+    fast = []
+    region.add_observer(events.append)
+    region.add_fast_observer(lambda o, l, c: fast.append((o, l, c)))
+    region.poke(0, b"data")
+    region.copy_within(0, 32, 4, WriteCategory.META)
+    assert [(e.offset, e.length, e.category) for e in events] == [
+        (32, 4, WriteCategory.META)
+    ]
+    assert fast == [(32, 4, WriteCategory.META)]
+    assert region.writes_observed == 1
+    assert region.bytes_written == 4
+
+
+def test_copy_within_overlapping_forward_and_backward():
+    region = MemoryRegion("r", 32)
+    region.poke(0, bytes(range(16)))
+    region.copy_within(0, 4, 12)  # forward overlap
+    assert region.read(4, 12) == bytes(range(12))
+    region2 = MemoryRegion("r2", 32)
+    region2.poke(4, bytes(range(12)))
+    region2.copy_within(4, 0, 12)  # backward overlap
+    assert region2.read(0, 12) == bytes(range(12))
+
+
+def test_copy_within_zero_length_checks_source_bounds():
+    region = MemoryRegion("r", 16)
+    events = []
+    region.add_observer(events.append)
+    region.copy_within(4, 8, 0)
+    assert events == []
+    assert region.writes_observed == 0
+    with pytest.raises(OutOfBoundsError):
+        region.copy_within(17, 0, 0)
+
+
+def test_copy_within_respects_protection_window():
+    region = MemoryRegion("r", 64)
+    region.protect()
+    with pytest.raises(ProtectionError):
+        region.copy_within(0, 32, 4)
+    region.open_window(32, 4)
+    region.copy_within(0, 32, 4)
+    region.unprotect()
+
+
+def test_view_is_read_only_and_checked():
+    region = MemoryRegion("r", 16)
+    region.poke(2, b"abc")
+    view = region.view(2, 3)
+    assert bytes(view) == b"abc"
+    with pytest.raises(TypeError):
+        view[0] = 0
+    with pytest.raises(OutOfBoundsError):
+        region.view(15, 2)
+
+
 def test_snapshot_and_restore():
     region = MemoryRegion("r", 16)
     region.write(0, b"x" * 16)
@@ -108,6 +167,25 @@ def test_fill():
     region = MemoryRegion("r", 8)
     region.fill(0xAB)
     assert region.read(0, 8) == b"\xab" * 8
+
+
+def test_fill_zero_and_page_straddling_sizes():
+    # Exercise the page-chunked fill: below, at, and above the page.
+    for size in (8, 1 << 16, (1 << 16) + 13):
+        region = MemoryRegion("r", size)
+        region.poke(0, b"x" * min(size, 64))
+        region.fill(0)
+        assert region.snapshot() == bytes(size)
+        region.fill(7)
+        assert region.snapshot() == b"\x07" * size
+
+
+def test_fill_rejects_non_byte_values():
+    region = MemoryRegion("r", 8)
+    with pytest.raises(ValueError):
+        region.fill(256)
+    with pytest.raises(ValueError):
+        region.fill(-1)
 
 
 def test_write_statistics():
