@@ -18,6 +18,9 @@ The library implements, for real and from scratch:
 * a **sharding layer** beyond the paper — N primary-backup pairs
   behind a versioned shard map and a retrying client router
   (:mod:`repro.shard`);
+* **leaderless quorum replication** beyond the paper — N-replica
+  groups with R/W quorums, version vectors, hinted handoff and
+  Merkle anti-entropy repair (:mod:`repro.quorum`);
 * a calibrated **performance model** that converts measured operation
   counts into the paper's tables and figures (:mod:`repro.perf`,
   :mod:`repro.experiments`).
@@ -41,6 +44,7 @@ from repro.vista.factory import ENGINE_VERSIONS, create_engine
 from repro.replication.active import ActiveReplicatedSystem
 from repro.replication.passive import PassiveReplicatedSystem
 from repro.replication.commit_safety import CommitSafety
+from repro.quorum import QuorumCluster, QuorumGroup, QuorumWorkload
 from repro.shard import Router, ShardedCluster, ShardedWorkload
 from repro.workloads import (
     DebitCreditWorkload,
@@ -63,6 +67,9 @@ __all__ = [
     "Router",
     "ShardedCluster",
     "ShardedWorkload",
+    "QuorumCluster",
+    "QuorumGroup",
+    "QuorumWorkload",
     "DebitCreditWorkload",
     "OrderEntryWorkload",
     "run_workload",

@@ -102,12 +102,13 @@ def _experiment_cells(key: str) -> List[CellSpec]:
             cells.append(("active", (workload, paper, True)))
     elif key == "sharding":
         cells.append(("active", ("debit-credit", None, True)))
-    # figure1 / recovery build their own clusters and read no cells.
+    # figure1 / recovery build their own clusters and read no cells;
+    # quorum's runs are pure discrete-event simulations of the seed.
     return cells
 
 
 #: Experiments that never call ``ctx.estimator()``.
-_NO_CALIBRATION = frozenset({"figure1", "recovery"})
+_NO_CALIBRATION = frozenset({"figure1", "recovery", "quorum"})
 
 
 def plan_for(experiment_keys: Iterable[str]) -> List[CellSpec]:

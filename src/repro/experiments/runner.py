@@ -29,6 +29,7 @@ from repro import fastpath
 
 from repro.experiments import (
     ablations,
+    extension_quorum,
     extension_recovery,
     extension_sensitivity,
     extension_sharding,
@@ -112,6 +113,12 @@ def _run_sharding(ctx: ExperimentContext) -> List[str]:
     return [result.table().render(), result.timeline_figure()]
 
 
+def _run_quorum(ctx: ExperimentContext) -> List[str]:
+    result = extension_quorum.run(ctx)
+    result.check()
+    return [result.table().render(), result.timeline_figure()]
+
+
 EXPERIMENTS: Dict[str, Callable[[ExperimentContext], List[str]]] = {
     "figure1": _run_figure1,
     "table1": _run_table1_2,
@@ -125,6 +132,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentContext], List[str]]] = {
     "smp-validation": _run_smp_validation,
     "sensitivity": _run_sensitivity,
     "sharding": _run_sharding,
+    "quorum": _run_quorum,
 }
 
 ALIASES = {

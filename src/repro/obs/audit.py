@@ -25,6 +25,16 @@ invariants the paper's protocols promise:
 * **span-sum** — every ``commit.span`` parent's duration equals the
   sum of its ``commit.phase`` children within float tolerance (the
   tiling invariant of :mod:`repro.obs.spans`).
+* **quorum-intersection** — every ``quorum.read`` / ``quorum.write``
+  gathered at least its required quorum, and a strict-mode group's
+  configuration actually guarantees read/write intersection
+  (``R + W > N``) — acks below quorum mean the operation claimed
+  success it was not entitled to.
+* **vv-monotone** — version vectors only move forward: a write
+  coordinator's own counter strictly increases per key, and
+  successive strict reads of one key return vectors that descend
+  from what was read before (the read-latest guarantee, re-checked
+  offline).
 
 The auditor is deliberately stream-friendly: :meth:`TraceAuditor.feed`
 does all per-event work online; only the span-sum reconciliation (and
@@ -38,6 +48,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.spans import COMMIT_PHASE, COMMIT_SPAN
 from repro.obs.trace import TraceEvent
+from repro.quorum.versions import VersionVector
 
 #: Relative tolerance of the span-sum check. Phase durations are
 #: accumulated floats, so exact equality is one rounding away from a
@@ -148,6 +159,11 @@ class TraceAuditor:
         self._span_parents: Dict[int, TraceEvent] = {}
         self._span_child_sums: Dict[int, float] = {}
         self._orphan_children: List[TraceEvent] = []
+        # Version-vector monotonicity state: a write coordinator's last
+        # own-counter per (component, key, coordinator), and the last
+        # strict read's merged vector per (component, key).
+        self._write_counters: Dict[Tuple[str, int, int], int] = {}
+        self._read_vvs: Dict[Tuple[str, int], VersionVector] = {}
 
     # -- violation plumbing ---------------------------------------------------
 
@@ -177,6 +193,12 @@ class TraceAuditor:
             self._close_downtime(event)
         elif name == "txn.complete":
             self._check_completion(event)
+        elif name == "quorum.write":
+            self._check_quorum(event)
+            self._check_write_vv(event)
+        elif name == "quorum.read":
+            self._check_quorum(event)
+            self._check_read_vv(event)
         elif name == COMMIT_SPAN:
             span_id = int(event.attrs.get("span_id", 0))
             self._span_parents[span_id] = event
@@ -271,6 +293,69 @@ class TraceAuditor:
             )
         self._epochs[key] = epoch
 
+    # -- quorum invariants ----------------------------------------------------
+
+    def _check_quorum(self, event: TraceEvent) -> None:
+        attrs = event.attrs
+        acks = int(attrs.get("acks", 0))
+        required = int(attrs.get("required", 0))
+        if acks < required:
+            self._flag(
+                "quorum-intersection", event,
+                f"{event.name} gathered {acks} acks, quorum requires "
+                f"{required}",
+                acks=acks, required=required,
+            )
+        if attrs.get("mode") == "strict":
+            n = int(attrs.get("n", 0))
+            r = int(attrs.get("r", 0))
+            w = int(attrs.get("w", 0))
+            if r + w <= n:
+                self._flag(
+                    "quorum-intersection", event,
+                    f"strict group configured with R+W <= N "
+                    f"({r}+{w} <= {n}): read and write quorums need not "
+                    f"intersect",
+                    n=n, r=r, w=w,
+                )
+
+    def _check_write_vv(self, event: TraceEvent) -> None:
+        attrs = event.attrs
+        if "vv" not in attrs or "coordinator" not in attrs:
+            return
+        vv = VersionVector.decode(str(attrs["vv"]))
+        coordinator = int(attrs["coordinator"])
+        key = (event.component, int(attrs.get("key", -1)), coordinator)
+        counter = vv.counter(coordinator)
+        last = self._write_counters.get(key)
+        if last is not None and counter <= last:
+            self._flag(
+                "vv-monotone", event,
+                f"write coordinator {coordinator}'s counter did not "
+                f"advance: {counter} after {last}",
+                coordinator=coordinator, counter=counter, previous=last,
+            )
+        self._write_counters[key] = max(counter, last or 0)
+
+    def _check_read_vv(self, event: TraceEvent) -> None:
+        attrs = event.attrs
+        # Only strict reads promise monotone vectors; a sloppy read on
+        # the small side of a partition may legitimately regress.
+        if attrs.get("mode") != "strict" or "vv" not in attrs:
+            return
+        vv = VersionVector.decode(str(attrs["vv"]))
+        key = (event.component, int(attrs.get("key", -1)))
+        last = self._read_vvs.get(key)
+        if last is not None and not vv.descends(last):
+            self._flag(
+                "vv-monotone", event,
+                f"strict read returned {vv.encode() or 'empty'!r}, which "
+                f"does not descend from the previously read "
+                f"{last.encode()!r}",
+                vv=vv.encode(), previous=last.encode(),
+            )
+        self._read_vvs[key] = vv.merge(last) if last is not None else vv
+
     # -- downtime windows -----------------------------------------------------
 
     def _open_downtime(self, event: TraceEvent) -> None:
@@ -290,6 +375,11 @@ class TraceAuditor:
         windows.append((event.ts_us, event.end_us))
 
     def _completion_scope(self, event: TraceEvent) -> Optional[str]:
+        # Clusters whose serving scopes are not shards (quorum groups)
+        # stamp completions with an explicit scope; shard completions
+        # keep the derived "shard.N" name.
+        if "scope" in event.attrs:
+            return str(event.attrs["scope"])
         if "shard" in event.attrs:
             return f"shard.{int(event.attrs['shard'])}"
         return None

@@ -119,6 +119,9 @@ class TimelineReport:
     routing: Dict[str, int]
     latency: LatencySummary
     per_shard_completions: Dict[int, int] = field(default_factory=dict)
+    #: Completions keyed by serving scope ("shard.N", or the explicit
+    #: scope a completion carries — "group.N" for quorum clusters).
+    per_scope_completions: Dict[str, int] = field(default_factory=dict)
 
     # -- throughput ----------------------------------------------------------
 
@@ -200,6 +203,17 @@ class TimelineReport:
                 for shard, count in sorted(self.per_shard_completions.items())
             )
             lines.append(f"  completions by shard: {shares}")
+        explicit_scopes = {
+            scope: count
+            for scope, count in self.per_scope_completions.items()
+            if not scope.startswith("shard.")
+        }
+        if explicit_scopes:
+            shares = ", ".join(
+                f"{scope}: {count}"
+                for scope, count in sorted(explicit_scopes.items())
+            )
+            lines.append(f"  completions by scope: {shares}")
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
@@ -227,6 +241,10 @@ class TimelineReport:
             "per_shard_completions": {
                 str(shard): count
                 for shard, count in sorted(self.per_shard_completions.items())
+            },
+            "per_scope_completions": {
+                scope: count
+                for scope, count in sorted(self.per_scope_completions.items())
             },
         }
 
@@ -266,10 +284,18 @@ def analyze_timeline(
         if "latency_us" in event.attrs
     ]
     per_shard: Dict[int, int] = {}
+    per_scope: Dict[str, int] = {}
     for event in completes:
         if "shard" in event.attrs:
             shard = int(event.attrs["shard"])
             per_shard[shard] = per_shard.get(shard, 0) + 1
+        if "scope" in event.attrs:
+            scope = str(event.attrs["scope"])
+        elif "shard" in event.attrs:
+            scope = f"shard.{int(event.attrs['shard'])}"
+        else:
+            continue
+        per_scope[scope] = per_scope.get(scope, 0) + 1
     routing = {
         "routed": len(select_events(events, name="txn.submit")),
         "completed": len(completes),
@@ -284,6 +310,7 @@ def analyze_timeline(
         routing=routing,
         latency=LatencySummary.from_values(latencies),
         per_shard_completions=per_shard,
+        per_scope_completions=per_scope,
     )
 
 
@@ -339,6 +366,13 @@ def main(argv: Optional[List[str]] = None) -> int:
              "availability (audit-confirmed when --audit is also given)",
     )
     parser.add_argument(
+        "--scope", action="append", metavar="SCOPE", default=None,
+        help="with --slo, restrict the availability report to matching "
+             "scopes (exact label or prefix, e.g. 'shard.2', 'group'); "
+             "repeatable — shard and quorum-group scopes from one trace "
+             "can be reported separately without post-processing",
+    )
+    parser.add_argument(
         "--spans", action="store_true",
         help="summarize commit.span trees into per-phase critical-path "
              "attribution",
@@ -362,8 +396,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.slo:
         audit_ok = audit_report.ok if audit_report is not None else None
         slo_report = compute_slo(
-            events, audit_ok=audit_ok, failovers=report.failovers
+            events, audit_ok=audit_ok, failovers=report.failovers,
+            scopes=args.scope,
         )
+    elif args.scope:
+        parser.error("--scope requires --slo")
     attribution = attribute_commits(events) if args.spans else None
 
     if args.format == "json":

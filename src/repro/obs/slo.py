@@ -151,20 +151,37 @@ def _trace_horizon_us(events: Sequence[TraceEvent]) -> float:
     return max((event.end_us for event in events), default=0.0)
 
 
+def _scope_selected(scope: str, scopes: Optional[Sequence[str]]) -> bool:
+    """Whether ``scope`` passes a ``--scope`` filter list (exact label
+    or dotted prefix; None or empty selects everything)."""
+    if not scopes:
+        return True
+    label = scope or "cluster"
+    return any(
+        label == wanted or label.startswith(wanted + ".")
+        for wanted in scopes
+    )
+
+
 def compute_slo(
     events: Sequence[TraceEvent],
     horizon_us: Optional[float] = None,
     audit_ok: Optional[bool] = None,
     failovers: Optional[Sequence[FailoverSpan]] = None,
+    scopes: Optional[Sequence[str]] = None,
 ) -> SloReport:
     """Fold a trace's failover spans into an availability report.
 
     ``failovers`` can be supplied (e.g. from an already-computed
     :class:`~repro.obs.report.TimelineReport`) to avoid re-scanning;
     otherwise they are reconstructed from ``events``. Scopes are the
-    union of every shard that served a transaction and every scope
-    that failed over, so an always-up shard counts in the cluster
-    roll-up with zero downtime.
+    union of every serving scope that completed a transaction
+    ("shard.N", or the explicit scope quorum completions carry) and
+    every scope that failed over, so an always-up shard counts in the
+    cluster roll-up with zero downtime. ``scopes`` restricts the
+    report (and its cluster roll-up) to matching scopes — exact label
+    or dotted prefix — so one trace holding both shard and
+    quorum-group scopes can be reported per architecture.
     """
     if horizon_us is None:
         horizon_us = _trace_horizon_us(events)
@@ -172,16 +189,16 @@ def compute_slo(
     if failovers is None:
         failovers = timeline.failovers
 
-    scopes: Dict[str, Tuple[float, int, List[Tuple[float, float]]]] = {}
-    for shard in timeline.per_shard_completions:
-        scopes.setdefault(f"shard.{shard}", (0.0, 0, []))
+    scope_state: Dict[str, Tuple[float, int, List[Tuple[float, float]]]] = {}
+    for scope in timeline.per_scope_completions:
+        scope_state.setdefault(scope, (0.0, 0, []))
     for span in failovers:
-        downtime, count, windows = scopes.get(span.scope, (0.0, 0, []))
+        downtime, count, windows = scope_state.get(span.scope, (0.0, 0, []))
         start = span.crash_at_us
         end = min(span.restored_at_us, horizon_us)
         charged = max(0.0, end - start)
         windows.append((start, end))
-        scopes[span.scope] = (downtime + charged, count + 1, windows)
+        scope_state[span.scope] = (downtime + charged, count + 1, windows)
 
     scope_reports = [
         ScopeAvailability(
@@ -191,7 +208,8 @@ def compute_slo(
             failovers=count,
             windows=tuple(windows),
         )
-        for scope, (downtime, count, windows) in sorted(scopes.items())
+        for scope, (downtime, count, windows) in sorted(scope_state.items())
+        if _scope_selected(scope, scopes)
     ]
     return SloReport(
         horizon_us=horizon_us, scopes=scope_reports, audit_ok=audit_ok
@@ -199,7 +217,10 @@ def compute_slo(
 
 
 def slo_from_trace_file(
-    path: str, horizon_us: Optional[float] = None, audited: bool = False
+    path: str,
+    horizon_us: Optional[float] = None,
+    audited: bool = False,
+    scopes: Optional[Sequence[str]] = None,
 ) -> SloReport:
     """Load a JSONL trace, optionally audit it, and compute its SLO."""
     from repro.obs.audit import audit_events
@@ -209,4 +230,6 @@ def slo_from_trace_file(
     audit_ok: Optional[bool] = None
     if audited:
         audit_ok = audit_events(events).ok
-    return compute_slo(events, horizon_us=horizon_us, audit_ok=audit_ok)
+    return compute_slo(
+        events, horizon_us=horizon_us, audit_ok=audit_ok, scopes=scopes
+    )

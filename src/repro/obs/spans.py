@@ -42,14 +42,18 @@ COMMIT_PHASE = "commit.phase"
 #: The commit pipeline's phases, in causal order. Passive replication
 #: uses engine -> doubling -> barrier; active uses engine -> ship ->
 #: apply (-> barrier only under 2-safe); standalone engines emit just
-#: the engine phase.
+#: the engine phase; quorum writes emit quorum_wait (time to the W-th
+#: acknowledgement) -> transfer (wire occupancy of the replica copies).
 PHASE_ENGINE = "engine"
 PHASE_DOUBLING = "doubling"
 PHASE_BARRIER = "barrier"
 PHASE_SHIP = "ship"
 PHASE_APPLY = "apply"
+PHASE_QUORUM_WAIT = "quorum_wait"
+PHASE_TRANSFER = "transfer"
 COMMIT_PHASES: Tuple[str, ...] = (
-    PHASE_ENGINE, PHASE_DOUBLING, PHASE_BARRIER, PHASE_SHIP, PHASE_APPLY
+    PHASE_ENGINE, PHASE_DOUBLING, PHASE_BARRIER, PHASE_SHIP, PHASE_APPLY,
+    PHASE_QUORUM_WAIT, PHASE_TRANSFER,
 )
 
 #: Engine-counter fields whose per-commit deltas the engine-phase cost

@@ -174,11 +174,18 @@ class Router:
                 latency = record.completed_at_us - record.submitted_at_us
                 self.observer.count("router.completed")
                 self.observer.observe("router.latency_us", latency)
-                self.observer.event(
-                    "router", "txn.complete",
-                    shard=record.shard_id, latency_us=latency,
-                    attempts=record.attempts,
-                )
+                attrs = {
+                    "shard": record.shard_id,
+                    "latency_us": latency,
+                    "attempts": record.attempts,
+                }
+                # Clusters whose serving scopes are not named "shard.N"
+                # (quorum groups) declare them; shard clusters do not,
+                # keeping their traces byte-identical.
+                scope_name = getattr(self.cluster, "scope_name", None)
+                if scope_name is not None:
+                    attrs["scope"] = scope_name(record.shard_id)
+                self.observer.event("router", "txn.complete", **attrs)
 
     # -- reporting ----------------------------------------------------------
 

@@ -1,0 +1,111 @@
+"""The auditor's quorum rules: intersection and vv monotonicity."""
+
+from repro.obs import TraceEvent
+from repro.obs.audit import audit_events
+
+
+def _write(ts, vv, key=0, coordinator=0, acks=2, required=2,
+           n=3, r=2, w=2, mode="strict", component="group.0.quorum"):
+    return TraceEvent(ts, component, "quorum.write", attrs={
+        "key": key, "coordinator": coordinator, "n": n, "r": r, "w": w,
+        "mode": mode, "acks": acks, "required": required, "vv": vv,
+    })
+
+
+def _read(ts, vv, key=0, acks=2, required=2, n=3, r=2, w=2,
+          mode="strict", component="group.0.quorum"):
+    return TraceEvent(ts, component, "quorum.read", attrs={
+        "key": key, "coordinator": 0, "n": n, "r": r, "w": w,
+        "mode": mode, "acks": acks, "required": required,
+        "siblings": 1, "vv": vv,
+    })
+
+
+def _rules(report):
+    return sorted({violation.rule for violation in report.violations})
+
+
+def test_clean_quorum_stream_passes():
+    report = audit_events([
+        _write(1.0, "0:1"),
+        _read(2.0, "0:1"),
+        _write(3.0, "0:2"),
+        _read(4.0, "0:2,1:1"),
+    ])
+    assert report.ok
+    assert report.events_seen == 4
+
+
+def test_underquorum_operation_is_flagged():
+    report = audit_events([_write(1.0, "0:1", acks=1, required=2)])
+    assert _rules(report) == ["quorum-intersection"]
+    violation = report.violations[0]
+    assert violation.attrs == {"acks": 1, "required": 2}
+    assert "gathered 1 acks" in violation.message
+
+
+def test_strict_nonintersecting_configuration_is_flagged():
+    report = audit_events([_read(1.0, "0:1", r=1, w=2, n=3)])
+    assert _rules(report) == ["quorum-intersection"]
+    assert report.violations[0].attrs == {"n": 3, "r": 1, "w": 2}
+    # The same arithmetic is fine in sloppy mode: hints cover the gap.
+    sloppy = audit_events([
+        _read(1.0, "0:1", r=1, w=2, n=3, mode="sloppy", required=1)
+    ])
+    assert sloppy.ok
+
+
+def test_write_coordinator_counter_must_advance():
+    report = audit_events([
+        _write(1.0, "0:2"),
+        _write(2.0, "0:2"),  # same coordinator, same counter: stuck
+    ])
+    assert _rules(report) == ["vv-monotone"]
+    assert report.violations[0].ts_us == 2.0
+    assert "did not advance" in report.violations[0].message
+
+
+def test_write_counters_are_tracked_per_key_and_coordinator():
+    report = audit_events([
+        _write(1.0, "0:5", key=3),
+        _write(2.0, "0:1", key=4),        # different key: fresh counter
+        _write(3.0, "1:1", coordinator=1),  # different coordinator
+        _write(4.0, "0:6", key=3),
+    ])
+    assert report.ok
+
+
+def test_strict_read_must_descend_its_predecessor():
+    report = audit_events([
+        _read(1.0, "0:3,1:1"),
+        _read(2.0, "0:2"),  # went backwards: quorum did not intersect
+    ])
+    assert _rules(report) == ["vv-monotone"]
+    assert report.violations[0].attrs["previous"] == "0:3,1:1"
+
+
+def test_sloppy_read_may_regress():
+    report = audit_events([
+        _read(1.0, "0:3", mode="sloppy", required=1),
+        _read(2.0, "0:1", mode="sloppy", required=1),
+    ])
+    assert report.ok
+
+
+def test_read_state_accumulates_across_concurrent_branches():
+    # Two concurrent reads merge into the floor; a later read must
+    # descend the merge of everything seen, not just the last event.
+    report = audit_events([
+        _read(1.0, "0:1"),
+        _read(2.0, "0:1,1:1"),
+        _read(3.0, "0:1"),  # drops 1:1 — not descending the merge
+    ])
+    assert _rules(report) == ["vv-monotone"]
+
+
+def test_quorum_state_is_scoped_by_component():
+    report = audit_events([
+        _write(1.0, "0:4", component="group.0.quorum"),
+        _write(2.0, "0:1", component="group.1.quorum"),
+    ])
+    assert report.ok
