@@ -13,28 +13,26 @@ Measures two things and writes them to ``BENCH_fastpath.json``:
 Usage::
 
     python benchmarks/bench_fastpath.py                   # measure
-    python benchmarks/bench_fastpath.py --check benchmarks/BENCH_fastpath.json
+    python benchmarks/bench_fastpath.py --check BENCH_fastpath.json
 
-``--check BASELINE`` compares *speedup ratios* (not absolute seconds,
-which depend on the machine) and exits non-zero if either measured
-speedup fell below 80% of the committed baseline's — the CI guard
-against quietly losing the optimization.
+Reports are written in the canonical ``repro-bench-v1`` trajectory
+format (root ``BENCH_fastpath.json`` is the committed baseline);
+``--check BASELINE`` delegates to ``python -m repro.obs.bench
+compare`` and exits non-zero if either measured speedup fell below 80%
+of the committed baseline's — the CI guard against quietly losing the
+optimization.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
 import subprocess
 import sys
 import time
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
-
-MB = 1024 * 1024
+from _common import MB, REPO, finalize, flatten_metrics
 
 #: The in-process cell set: one of each replication style, both
 #: workloads, including the heavy v1 mirror (uncoalesced) path.
@@ -110,27 +108,20 @@ def bench_grid(transactions: int, jobs: int) -> dict:
     }
 
 
-def check(report: dict, baseline_path: str, tolerance: float = 0.8) -> int:
-    with open(baseline_path) as handle:
-        baseline = json.load(handle)
-    failures = []
-    for section in ("cells", "grid"):
-        if section not in report or section not in baseline:
-            continue
-        measured = report[section]["speedup"]
-        reference = baseline[section]["speedup"]
-        floor = reference * tolerance
-        status = "ok" if measured >= floor else "REGRESSED"
-        print(
-            f"[{section}] speedup {measured:.2f}x vs baseline "
-            f"{reference:.2f}x (floor {floor:.2f}x): {status}"
-        )
-        if measured < floor:
-            failures.append(section)
-    if failures:
-        print(f"FAIL: fastpath regressed >20% on: {', '.join(failures)}")
-        return 1
-    return 0
+#: Regression-gated metrics (speedup ratios; higher is better).
+GATES = {
+    "cells.speedup": "higher",
+    "grid.speedup": "higher",
+}
+
+UNITS = {
+    "cells.speedup": "x",
+    "cells.slow_s": "s",
+    "cells.fast_s": "s",
+    "grid.speedup": "x",
+    "grid.slow_s": "s",
+    "grid.fast_jobs_s": "s",
+}
 
 
 def main(argv=None) -> int:
@@ -142,8 +133,8 @@ def main(argv=None) -> int:
         help="worker processes for the fast grid run (0 = all cores)",
     )
     parser.add_argument(
-        "--output", default="BENCH_fastpath.json",
-        help="where to write the measured report",
+        "--output", default=str(REPO / "BENCH_fastpath.json"),
+        help="where to write the measured report (default: repo root)",
     )
     parser.add_argument(
         "--check", metavar="BASELINE", default=None,
@@ -162,11 +153,6 @@ def main(argv=None) -> int:
         args.jobs = default_jobs()
 
     report = {
-        "machine": {
-            "cpus": os.cpu_count(),
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-        },
         "cells": bench_cells(args.cell_transactions),
     }
     print(
@@ -180,21 +166,18 @@ def main(argv=None) -> int:
             f"{report['grid']['fast_jobs_s']}s "
             f"({report['grid']['speedup']}x at --jobs {args.jobs})"
         )
-    with open(args.output, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"[report written to {args.output}]")
+    if "grid" in report and not report["grid"]["output_identical"]:
+        print(
+            "FAIL: fast grid output differs from the --no-fastpath "
+            "reference (see grid-reference.txt / grid-fastpath.txt)"
+        )
+        finalize("fastpath", flatten_metrics(report, GATES, UNITS),
+                 args.output)
+        return 1
     if "grid" in report:
-        if not report["grid"]["output_identical"]:
-            print(
-                "FAIL: fast grid output differs from the --no-fastpath "
-                "reference (see grid-reference.txt / grid-fastpath.txt)"
-            )
-            return 1
         print("[grid]  fast output is byte-identical to the reference")
-    if args.check:
-        return check(report, args.check)
-    return 0
+    return finalize("fastpath", flatten_metrics(report, GATES, UNITS),
+                    args.output, check_path=args.check)
 
 
 if __name__ == "__main__":

@@ -13,35 +13,33 @@ Measures three things and writes them to the root ``BENCH_kernels.json``
   (every word differs) buffer pairs.
 * **grid** — the full ``repro-experiments`` grid end to end, kernels
   on versus ``--no-fastpath``, golden-diffed, with the speedup against
-  the committed PR 4 baseline (``benchmarks/BENCH_fastpath.json``,
-  measured on the same container class) reported alongside.
+  the committed PR 4 baseline (root ``BENCH_fastpath.json``, measured
+  on the same container class) reported alongside.
 
 Usage::
 
     python benchmarks/bench_kernels.py                      # measure
     python benchmarks/bench_kernels.py --check BENCH_kernels.json
 
-``--check BASELINE`` compares *speedup ratios* (not absolute seconds)
-and exits non-zero if any measured speedup fell below 80% of the
-committed baseline's — the CI guard against quietly losing the
-kernels.
+Reports are written in the canonical ``repro-bench-v1`` trajectory
+format; ``--check BASELINE`` delegates to
+``python -m repro.obs.bench compare`` and exits non-zero if any gated
+speedup fell below 80% of the committed baseline's — the CI guard
+against quietly losing the kernels.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
 import subprocess
 import sys
 import time
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO / "src"))
+from _common import MB, REPO, finalize, flatten_metrics
 
-MB = 1024 * 1024
+from repro.obs.bench import load_report
 
 
 # -- events/sec -------------------------------------------------------------
@@ -168,60 +166,44 @@ def bench_grid(transactions: int) -> dict:
     # Speedup over the committed PR 4 grid wall-clock, when this run
     # matches the baseline's transaction count (same container class;
     # informational on other machines).
-    pr4_path = REPO / "benchmarks" / "BENCH_fastpath.json"
+    pr4_path = REPO / "BENCH_fastpath.json"
     if pr4_path.exists():
-        pr4 = json.loads(pr4_path.read_text()).get("grid", {})
-        if pr4.get("transactions") == transactions and pr4.get("fast_jobs_s"):
-            report["pr4_fastpath_s"] = pr4["fast_jobs_s"]
-            report["speedup_vs_pr4"] = round(pr4["fast_jobs_s"] / fast_s, 3)
+        pr4 = load_report(str(pr4_path))["metrics"]
+        pr4_txns = pr4.get("grid.transactions", {}).get("value")
+        pr4_fast = pr4.get("grid.fast_jobs_s", {}).get("value")
+        if pr4_txns == transactions and pr4_fast:
+            report["pr4_fastpath_s"] = pr4_fast
+            report["speedup_vs_pr4"] = round(pr4_fast / fast_s, 3)
     return report
 
 
-# -- check / main -----------------------------------------------------------
+# -- report / main ----------------------------------------------------------
 
-#: (section path, speedup key) pairs gated by --check.
-_GATES = [
-    ("events", "wheel_speedup"),
-    ("diff.sparse", "speedup"),
-    ("diff.dense", "speedup"),
-    ("grid", "speedup_vs_pr4"),
-]
+#: Regression-gated metrics (all "higher is better" speedup ratios).
+GATES = {
+    "events.wheel_speedup": "higher",
+    "diff.sparse.speedup": "higher",
+    "diff.dense.speedup": "higher",
+    "grid.speedup_vs_pr4": "higher",
+}
 
-
-def _lookup(report: dict, dotted: str):
-    node = report
-    for part in dotted.split("."):
-        if not isinstance(node, dict) or part not in node:
-            return None
-        node = node[part]
-    return node
-
-
-def check(report: dict, baseline_path: str, tolerance: float = 0.8) -> int:
-    with open(baseline_path) as handle:
-        baseline = json.load(handle)
-    failures = []
-    for section, key in _GATES:
-        measured_section = _lookup(report, section)
-        baseline_section = _lookup(baseline, section)
-        if not measured_section or not baseline_section:
-            continue
-        measured = measured_section.get(key)
-        reference = baseline_section.get(key)
-        if measured is None or reference is None:
-            continue
-        floor = reference * tolerance
-        status = "ok" if measured >= floor else "REGRESSED"
-        print(
-            f"[{section}.{key}] {measured:.2f}x vs baseline "
-            f"{reference:.2f}x (floor {floor:.2f}x): {status}"
-        )
-        if measured < floor:
-            failures.append(f"{section}.{key}")
-    if failures:
-        print(f"FAIL: kernels regressed >20% on: {', '.join(failures)}")
-        return 1
-    return 0
+UNITS = {
+    "events.wheel_speedup": "x",
+    "events.heap_events_per_s": "ev/s",
+    "events.wheel_events_per_s": "ev/s",
+    "events.poll_sim_s": "s",
+    "diff.sparse.speedup": "x",
+    "diff.dense.speedup": "x",
+    "diff.sparse.kernel_mb_per_s": "MB/s",
+    "diff.sparse.reference_mb_per_s": "MB/s",
+    "diff.dense.kernel_mb_per_s": "MB/s",
+    "diff.dense.reference_mb_per_s": "MB/s",
+    "grid.reference_s": "s",
+    "grid.kernels_s": "s",
+    "grid.speedup": "x",
+    "grid.speedup_vs_pr4": "x",
+    "grid.pr4_fastpath_s": "s",
+}
 
 
 def main(argv=None) -> int:
@@ -243,11 +225,6 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report = {
-        "machine": {
-            "cpus": os.cpu_count(),
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-        },
         "events": bench_events(),
         "diff": bench_diff(),
     }
@@ -276,22 +253,19 @@ def main(argv=None) -> int:
                 f"baseline ({grid['pr4_fastpath_s']}s)"
             )
         print(line)
-    with open(args.output, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"[report written to {args.output}]")
+    if "grid" in report and not report["grid"]["output_identical"]:
+        print(
+            "FAIL: kernels grid output differs from the --no-fastpath "
+            "reference (see grid-kernels-reference.txt / "
+            "grid-kernels-fast.txt)"
+        )
+        finalize("kernels", flatten_metrics(report, GATES, UNITS),
+                 args.output)
+        return 1
     if "grid" in report:
-        if not report["grid"]["output_identical"]:
-            print(
-                "FAIL: kernels grid output differs from the --no-fastpath "
-                "reference (see grid-kernels-reference.txt / "
-                "grid-kernels-fast.txt)"
-            )
-            return 1
         print("[grid] kernels output is byte-identical to the reference")
-    if args.check:
-        return check(report, args.check)
-    return 0
+    return finalize("kernels", flatten_metrics(report, GATES, UNITS),
+                    args.output, check_path=args.check)
 
 
 if __name__ == "__main__":

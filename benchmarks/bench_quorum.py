@@ -18,26 +18,20 @@ Usage::
     python benchmarks/bench_quorum.py                     # measure
     python benchmarks/bench_quorum.py --check BENCH_quorum.json
 
-``--check BASELINE`` compares the repair *speedup ratio* (not absolute
-seconds) and exits non-zero if it fell below 80% of the committed
-baseline's — the CI guard against quietly losing the kernel path in
-the repair loop.
+Reports are written in the canonical ``repro-bench-v1`` trajectory
+format; ``--check BASELINE`` delegates to
+``python -m repro.obs.bench compare`` and exits non-zero if the repair
+speedup ratio fell below 80% of the committed baseline's — the CI
+guard against quietly losing the kernel path in the repair loop.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import platform
 import sys
 import time
-from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO / "src"))
-
-MB = 1024 * 1024
+from _common import MB, REPO, finalize, flatten_metrics
 
 #: Keys per replica in the repair benchmark (digest state is
 #: ``keys * DIGEST_BYTES`` per side).
@@ -155,39 +149,27 @@ def bench_experiment() -> dict:
     }
 
 
-# -- check / main -----------------------------------------------------------
+# -- report / main ----------------------------------------------------------
 
-#: (section path, speedup key) pairs gated by --check.
-_GATES = [
-    ("repair.sparse", "speedup"),
-    ("repair.dense", "speedup"),
-]
+#: Regression-gated metrics (speedup ratios; higher is better).
+GATES = {
+    "repair.sparse.speedup": "higher",
+    "repair.dense.speedup": "higher",
+}
 
-
-def check(report: dict, baseline_path: str, tolerance: float = 0.8) -> int:
-    with open(baseline_path) as handle:
-        baseline = json.load(handle)
-    failures = []
-    for section, key in _GATES:
-        measured = report
-        reference = baseline
-        for part in section.split("."):
-            measured = (measured or {}).get(part)
-            reference = (reference or {}).get(part)
-        if not measured or not reference:
-            continue
-        floor = reference[key] * tolerance
-        status = "ok" if measured[key] >= floor else "REGRESSED"
-        print(
-            f"[{section}.{key}] {measured[key]:.2f}x vs baseline "
-            f"{reference[key]:.2f}x (floor {floor:.2f}x): {status}"
-        )
-        if measured[key] < floor:
-            failures.append(f"{section}.{key}")
-    if failures:
-        print(f"FAIL: repair kernel regressed >20% on: {', '.join(failures)}")
-        return 1
-    return 0
+UNITS = {
+    "repair.sparse.speedup": "x",
+    "repair.dense.speedup": "x",
+    "repair.sparse.kernel_mb_per_s": "MB/s",
+    "repair.sparse.reference_mb_per_s": "MB/s",
+    "repair.dense.kernel_mb_per_s": "MB/s",
+    "repair.dense.reference_mb_per_s": "MB/s",
+    "read.simulated_p50_us": "us",
+    "read.simulated_p99_us": "us",
+    "read.reads_per_s": "op/s",
+    "experiment.wall_s": "s",
+    "experiment.downtime_us": "us",
+}
 
 
 def main(argv=None) -> int:
@@ -208,11 +190,6 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report = {
-        "machine": {
-            "cpus": os.cpu_count(),
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-        },
         "repair": bench_repair(),
         "read": bench_reads(),
     }
@@ -239,14 +216,8 @@ def main(argv=None) -> int:
             f"{exp['hints_delivered']} hints delivered"
         )
 
-    with open(args.output, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"[report written to {args.output}]")
-
-    if args.check:
-        return check(report, args.check)
-    return 0
+    return finalize("quorum", flatten_metrics(report, GATES, UNITS),
+                    args.output, check_path=args.check)
 
 
 if __name__ == "__main__":

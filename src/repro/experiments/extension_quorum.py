@@ -42,11 +42,21 @@ from typing import Dict, List, Optional, Union
 from repro.experiments.common import ExperimentContext
 from repro.experiments.extension_sharding import (
     FailoverTimeline,
+    SeriesDerivations,
     SlotSample,
     failover_timeline,
 )
 from repro.obs import Observer, TraceEvent, analyze_timeline, write_jsonl
 from repro.obs.report import FailoverSpan, TimelineReport
+from repro.obs.series import (
+    SeriesFrame,
+    TimeSeriesSampler,
+    derive_dip,
+    quorum_probes,
+    router_probes,
+    series_interval_us,
+    sim_probes,
+)
 from repro.perf.quorum import (
     QuorumCostReport,
     primary_backup_cost,
@@ -102,7 +112,7 @@ PAIR_RECOVER_AT_US = 15_250.0
 
 
 @dataclass
-class QuorumTimeline:
+class QuorumTimeline(SeriesDerivations):
     """The measured dip-and-recovery curve of one group's quorum loss."""
 
     num_groups: int
@@ -116,6 +126,8 @@ class QuorumTimeline:
     group_stats: Dict[int, Dict[str, float]] = field(default_factory=dict)
     #: The raw trace the numbers above were derived from.
     trace_events: List[TraceEvent] = field(default_factory=list)
+    #: The sampled time series recorded alongside the trace.
+    series: SeriesFrame = field(default_factory=SeriesFrame)
 
     def trace_report(self, window_us: Optional[float] = None) -> TimelineReport:
         """Re-derive the timeline report from the recorded trace."""
@@ -175,6 +187,8 @@ class QuorumComparison:
     hints_delivered: int
     pair_timeline: FailoverTimeline
     quorum_trace_events: List[TraceEvent] = field(default_factory=list)
+    #: Sampled series of the sloppy group's run (hint backlog curve).
+    quorum_series: SeriesFrame = field(default_factory=SeriesFrame)
 
     @property
     def pair_availability(self) -> float:
@@ -358,6 +372,45 @@ class QuorumResult:
             f"group.{group}": per_group for group in range(n)
         }, "the dip was delay, not loss — every group served its offer"
 
+        # -- series consistency -----------------------------------------
+        # The sampled time series must tell the same story as the trace:
+        # per-window completion deltas equal the trace's window counts
+        # exactly, and the dip derived from the series matches the dip
+        # derived from the trace.
+        assert len(timeline.series) > 0, "sampler recorded no ticks"
+        deltas = timeline.goodput_windows()
+        trace_counts = rederived.window_counts(len(deltas))
+        assert deltas == [float(c) for c in trace_counts], (
+            "series-derived goodput disagrees with the trace"
+        )
+        assert sum(deltas) == float(completed)
+        series_dip = timeline.series_dip()
+        assert series_dip is not None
+        trace_dip = derive_dip(
+            [float(c) for c in trace_counts],
+            timeline.slot_us,
+            float(normal),
+        )
+        assert series_dip == trace_dip
+        assert series_dip.dip_floor == float(degraded)
+        # The dip window brackets the measured quorum loss to within
+        # the sampling resolution on each side.
+        assert (
+            abs(series_dip.time_to_recover_us - loss.downtime_us)
+            <= 2 * timeline.slot_us
+        )
+        for group in range(n):
+            assert timeline.series.last(
+                f"group.{group}.completed"
+            ) == float(rederived.per_scope_completions[f"group.{group}"])
+        # Anti-entropy ran: the sampled repair-key counter moved, and
+        # never past the groups' own final bookkeeping.
+        repair_last = timeline.series.last("quorum.repair_keys")
+        repair_total = sum(
+            g["repair_keys"] for g in timeline.group_stats.values()
+        )
+        assert 0 < repair_last <= repair_total, (repair_last, repair_total)
+
         # -- audit + SLO ------------------------------------------------
         audit = timeline.audit()
         assert audit.ok, audit.render()
@@ -392,6 +445,11 @@ class QuorumResult:
         # replica was caught up by hinted handoff, not luck.
         assert comparison.quorum_downtime_us == 0.0
         assert comparison.hints_delivered > 0
+        # The series shows the mechanism: hints pooled while the
+        # replica was down, then the backlog drained to nothing.
+        backlog = comparison.quorum_series.values("quorum.hints_pending")
+        assert max(backlog) > 0.0, "hint backlog never observed"
+        assert backlog[-1] == 0.0, "hint backlog never drained"
 
 
 def quorum_timeline(
@@ -426,6 +484,17 @@ def quorum_timeline(
     cluster.setup(workload)
     router = Router(cluster, workload, max_attempts=12, observer=observer)
 
+    horizon_us = slots * slot_us + DRAIN_US
+    sampler = TimeSeriesSampler(observer=observer)
+    sampler.add_probes(sim_probes(cluster.sim))
+    sampler.add_probes(router_probes(
+        router, scopes={f"group.{g}": g for g in range(num_groups)}
+    ))
+    sampler.add_probes(quorum_probes(cluster.groups))
+    sampler.attach(
+        cluster.sim, series_interval_us(slot_us, slot_us), horizon_us
+    )
+
     # A fixed load: offered_per_group transactions per group per slot
     # (global key g routes to group g; the group draws its own local
     # keys from its seeded stream).
@@ -445,7 +514,7 @@ def quorum_timeline(
     )
     # Run past the horizon so retries and repair rounds fully drain,
     # then one explicit sweep to pick up any last divergence.
-    cluster.run_until(slots * slot_us + DRAIN_US)
+    cluster.run_until(horizon_us)
     cluster.repair_pass_all()
     converged = all(
         group.replicas_converged() for group in cluster.groups
@@ -487,6 +556,7 @@ def quorum_timeline(
         router_stats=dict(report.routing),
         group_stats=cluster.stats,
         trace_events=events,
+        series=sampler.frame,
     )
 
 
@@ -509,6 +579,14 @@ def availability_comparison(seed: int = 42) -> QuorumComparison:
     )
     cluster.setup(workload)
     router = Router(cluster, workload, max_attempts=12, observer=observer)
+    sampler = TimeSeriesSampler(observer=observer)
+    sampler.add_probes(router_probes(router, scopes={"group.0": 0}))
+    sampler.add_probes(quorum_probes(cluster.groups))
+    sampler.attach(
+        cluster.sim,
+        series_interval_us(SLOT_US, SLOT_US),
+        SLOTS * SLOT_US + DRAIN_US,
+    )
     for slot in range(SLOTS):
         at_us = slot * SLOT_US
         for _ in range(OFFERED_PER_GROUP_PER_SLOT):
@@ -541,6 +619,7 @@ def availability_comparison(seed: int = 42) -> QuorumComparison:
         hints_delivered=group.stats.hints_delivered,
         pair_timeline=pair,
         quorum_trace_events=events,
+        quorum_series=sampler.frame,
     )
 
 

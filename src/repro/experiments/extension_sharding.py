@@ -33,6 +33,16 @@ from repro.cluster.cluster import TakeoverReport
 from repro.experiments.common import ExperimentContext
 from repro.obs import Observer, TraceEvent, analyze_timeline, write_jsonl
 from repro.obs.report import TimelineReport
+from repro.obs.series import (
+    DipSummary,
+    SeriesFrame,
+    TimeSeriesSampler,
+    derive_dip,
+    router_probes,
+    series_interval_us,
+    sim_probes,
+    windowed_goodput,
+)
 from repro.perf.report import ReportTable
 from repro.perf.sharding import ShardedThroughputReport, sharded_aggregate
 from repro.shard import Router, ShardedCluster, ShardedWorkload
@@ -60,8 +70,29 @@ class SlotSample:
     completed: int
 
 
+class SeriesDerivations:
+    """Windowed derivations shared by the measured timelines.
+
+    Expects ``series`` (a :class:`SeriesFrame` with a cumulative
+    ``router.completed`` column), ``slot_us`` and ``normal_per_slot``
+    on the concrete dataclass.
+    """
+
+    def goodput_windows(self, window_us: Optional[float] = None) -> List[float]:
+        """Completions per window derived from the sampled series."""
+        window = self.slot_us if window_us is None else window_us
+        return windowed_goodput(self.series, "router.completed", window)
+
+    def series_dip(self, window_us: Optional[float] = None) -> Optional[DipSummary]:
+        """Dip-and-recovery summary of the sampled goodput curve."""
+        window = self.slot_us if window_us is None else window_us
+        return derive_dip(
+            self.goodput_windows(window), window, float(self.normal_per_slot)
+        )
+
+
 @dataclass
-class FailoverTimeline:
+class FailoverTimeline(SeriesDerivations):
     """The measured dip-and-recovery curve of one shard's failover."""
 
     num_shards: int
@@ -74,6 +105,8 @@ class FailoverTimeline:
     router_stats: Dict[str, int] = field(default_factory=dict)
     #: The raw trace the numbers above were derived from.
     trace_events: List[TraceEvent] = field(default_factory=list)
+    #: The sampled time series recorded alongside the trace.
+    series: SeriesFrame = field(default_factory=SeriesFrame)
 
     def trace_report(self, window_us: Optional[float] = None) -> TimelineReport:
         """Re-derive the timeline report from the recorded trace."""
@@ -268,6 +301,35 @@ class ShardingResult:
         for count in rederived.per_shard_completions.values():
             assert count == SLOTS * timeline.offered_per_shard_per_slot
 
+        # -- series consistency -----------------------------------------
+        # The sampled SeriesFrame must tell the same story as the
+        # trace, window for window: goodput derived from the sampler's
+        # cumulative completion counter equals the trace-derived
+        # half-open window counts exactly, and the dip-and-recovery
+        # summaries computed from each agree.
+        series = timeline.series
+        assert len(series) > 0, "sampler recorded no ticks"
+        deltas = timeline.goodput_windows()
+        trace_counts = [float(c) for c in rederived.window_counts(len(deltas))]
+        assert deltas == trace_counts, "series windows diverge from trace"
+        assert sum(deltas) == float(completed)
+        series_dip = timeline.series_dip()
+        trace_dip = derive_dip(
+            trace_counts, timeline.slot_us, float(normal)
+        )
+        assert series_dip is not None and series_dip == trace_dip
+        assert series_dip.dip_floor == float(degraded)
+        # The dip's duration brackets the measured takeover downtime
+        # to within the slot quantization on each side.
+        assert abs(
+            series_dip.time_to_recover_us - report.downtime_us
+        ) <= 2 * timeline.slot_us
+        # Per-scope cumulative counters land on the per-shard totals.
+        for shard in range(n):
+            assert timeline.series.last(f"shard.{shard}.completed") == float(
+                rederived.per_shard_completions[shard]
+            )
+
         # -- audit + SLO ------------------------------------------------
         # A clean run must satisfy every replication invariant the
         # auditor knows, and the availability accounting must charge
@@ -333,6 +395,21 @@ def failover_timeline(
     )
     cluster.setup(workload)
     router = Router(cluster, workload, max_attempts=12, observer=observer)
+    horizon_us = slots * slot_us + 30_000.0
+
+    # The sampler's ticks are pre-scheduled *before* the load below,
+    # so at any shared timestamp they fire first and each sample sees
+    # exactly the [0, t) prefix — the property that makes the series
+    # windows match the trace windows bit for bit. The tick divides
+    # the slot width (REPRO_SERIES can select a finer divisor without
+    # changing any measured number).
+    sampler = TimeSeriesSampler(observer=observer)
+    sampler.add_probes(sim_probes(cluster.sim))
+    sampler.add_probes(router_probes(
+        router, scopes={f"shard.{i}": i for i in range(num_shards)}
+    ))
+    sampler.attach(cluster.sim, series_interval_us(slot_us, slot_us),
+                   horizon_us)
 
     # A fixed round-robin load: offered_per_shard transactions per
     # shard per slot, keyed to the first branch each shard owns.
@@ -344,7 +421,7 @@ def failover_timeline(
                 router.submit(key=key, at_us=at_us)
     cluster.schedule_primary_crash(crashed_shard, at_us=crash_at_us)
     # Run past the horizon so the retry backlog fully drains.
-    cluster.run_until(slots * slot_us + 30_000.0)
+    cluster.run_until(horizon_us)
 
     events = list(observer.recorder.events)
     report = analyze_timeline(events, window_us=slot_us)
@@ -389,6 +466,7 @@ def failover_timeline(
         samples=samples,
         router_stats=dict(report.routing),
         trace_events=events,
+        series=sampler.frame,
     )
 
 

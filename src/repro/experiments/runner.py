@@ -7,7 +7,8 @@ Installed as the ``repro-experiments`` console script::
     repro-experiments --transactions 5000   # higher fidelity
     repro-experiments --jobs 4      # fan cells over 4 processes
     repro-experiments --no-fastpath # reference slow path (golden check)
-    repro-experiments --profile out.txt   # cProfile one hot cell
+    repro-experiments --profile out.txt   # wall-clock subsystem profile
+    repro-experiments --cprofile out.txt  # cProfile one hot cell
 
 ``--jobs N`` computes the independent measurement cells in worker
 processes, then renders every table in-process from the preloaded
@@ -184,9 +185,10 @@ def _precompute(ctx: ExperimentContext, resolved: List[str], jobs: int) -> None:
         ctx.preload(memos=dict(sims))
 
 
-def _profile_cell(args) -> int:
+def _cprofile_cell(args) -> int:
     """cProfile one representative hot cell and report the top 25
-    functions by internal time (the CI perf artifact)."""
+    functions by internal time (function-level drill-down; the
+    subsystem-level view is ``--profile``)."""
     from repro.experiments.common import PAPER_DB_BYTES
 
     settings = ExperimentSettings(transactions=args.transactions, seed=args.seed)
@@ -204,12 +206,12 @@ def _profile_cell(args) -> int:
         f"fastpath={'off' if args.no_fastpath else 'on'}\n"
         + buffer.getvalue()
     )
-    if args.profile == "-":
+    if args.cprofile == "-":
         print(report, end="")
     else:
-        with open(args.profile, "w") as handle:
+        with open(args.cprofile, "w") as handle:
             handle.write(report)
-        print(f"[profile written to {args.profile}]")
+        print(f"[profile written to {args.cprofile}]")
     return 0
 
 
@@ -241,19 +243,33 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--profile", nargs="?", const="-", default=None, metavar="PATH",
+        help="run the selected grid under the wall-clock stack sampler "
+        "and write the per-subsystem attribution report to PATH "
+        "(stdout if omitted); sampling covers this process only, so "
+        "profile with --jobs 1",
+    )
+    parser.add_argument(
+        "--profile-collapsed", default=None, metavar="PATH",
+        help="with --profile, also write folded stacks to PATH "
+        "(flamegraph.pl / speedscope input)",
+    )
+    parser.add_argument(
+        "--cprofile", nargs="?", const="-", default=None, metavar="PATH",
         help="instead of running the grid, cProfile one representative "
         "cell (passive v3 debit-credit at the paper's 50 MB database) "
         "and write the top-25 functions to PATH (stdout if omitted)",
     )
     args = parser.parse_args(argv)
+    if args.profile_collapsed and args.profile is None:
+        parser.error("--profile-collapsed requires --profile")
 
     if args.no_fastpath:
         # The env var covers worker processes too (spawn or fork).
         os.environ["REPRO_FASTPATH"] = "0"
         fastpath.set_enabled(False)
 
-    if args.profile is not None:
-        return _profile_cell(args)
+    if args.cprofile is not None:
+        return _cprofile_cell(args)
 
     names = args.experiments or list(EXPERIMENTS)
     resolved = []
@@ -269,15 +285,37 @@ def main(argv=None) -> int:
 
     settings = ExperimentSettings(transactions=args.transactions, seed=args.seed)
     ctx = ExperimentContext(settings)
-    started = time.time()
-    if args.jobs > 1:
-        _precompute(ctx, resolved, args.jobs)
-    for key in resolved:
-        for block in EXPERIMENTS[key](ctx):
-            print(block)
-            print()
-    print(f"[all experiments passed their shape checks in "
-          f"{time.time() - started:.1f}s]")
+
+    def run_grid() -> None:
+        started = time.time()
+        if args.jobs > 1:
+            _precompute(ctx, resolved, args.jobs)
+        for key in resolved:
+            for block in EXPERIMENTS[key](ctx):
+                print(block)
+                print()
+        print(f"[all experiments passed their shape checks in "
+              f"{time.time() - started:.1f}s]")
+
+    if args.profile is None:
+        run_grid()
+        return 0
+
+    from repro.obs.prof import profile
+
+    _, report = profile(
+        run_grid, label=f"repro-experiments {' '.join(resolved)}"
+    )
+    text = report.render()
+    if args.profile == "-":
+        print(text, end="")
+    else:
+        with open(args.profile, "w") as handle:
+            handle.write(text)
+        print(f"[profile written to {args.profile}]")
+    if args.profile_collapsed:
+        report.write_collapsed(args.profile_collapsed)
+        print(f"[collapsed stacks written to {args.profile_collapsed}]")
     return 0
 
 

@@ -70,6 +70,21 @@ _LAZY_EXPORTS = {
     "PhaseAttribution": "repro.obs.spans",
     "attribute_commits": "repro.obs.spans",
     "collect_commit_spans": "repro.obs.spans",
+    "DipSummary": "repro.obs.series",
+    "SERIES_ENV_VAR": "repro.obs.series",
+    "SeriesFrame": "repro.obs.series",
+    "TimeSeriesSampler": "repro.obs.series",
+    "derive_dip": "repro.obs.series",
+    "series_interval_us": "repro.obs.series",
+    "snap_tick": "repro.obs.series",
+    "windowed_goodput": "repro.obs.series",
+    "ProfileReport": "repro.obs.prof",
+    "StackSampler": "repro.obs.prof",
+    "SubsystemTimers": "repro.obs.prof",
+    "parse_collapsed": "repro.obs.prof",
+    "profile": "repro.obs.prof",
+    "compare_reports": "repro.obs.bench",
+    "load_bench_report": "repro.obs.bench",
 }
 
 
@@ -89,6 +104,7 @@ __all__ = [
     "CommitSpanTree",
     "Counter",
     "DEFAULT_BOUNDS",
+    "DipSummary",
     "FailoverSpan",
     "Gauge",
     "Histogram",
@@ -101,8 +117,14 @@ __all__ = [
     "OBS_ENV_VAR",
     "Observer",
     "PhaseAttribution",
+    "ProfileReport",
+    "SERIES_ENV_VAR",
     "ScopeAvailability",
+    "SeriesFrame",
     "SloReport",
+    "StackSampler",
+    "SubsystemTimers",
+    "TimeSeriesSampler",
     "TimelineReport",
     "TraceAuditor",
     "TraceEvent",
@@ -115,13 +137,21 @@ __all__ = [
     "audit_trace_file",
     "chrome_trace_dict",
     "collect_commit_spans",
+    "compare_reports",
     "compute_slo",
+    "derive_dip",
     "get_default_observer",
+    "load_bench_report",
+    "parse_collapsed",
+    "profile",
     "read_jsonl",
     "reset_default_observer",
     "resolve_observer",
     "select_events",
+    "series_interval_us",
     "slo_from_trace_file",
+    "snap_tick",
+    "windowed_goodput",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -1,0 +1,350 @@
+"""Perf-trajectory tracking: one canonical ``BENCH*.json`` format.
+
+Before this module the repo's perf history lived in three
+inconsistently-shaped, inconsistently-located JSON files, each with its
+own copy of the machine stanza and its own ad-hoc CI ratio check. This
+module defines the single ``repro-bench-v1`` trajectory format and the
+one regression gate every benchmark goes through::
+
+    {
+      "format": "repro-bench-v1",
+      "suite": "kernels",
+      "machine": {"cpus": 1, "python": "3.12.1", "platform": "..."},
+      "metrics": {
+        "grid.speedup_vs_pr4": {"value": 1.44, "unit": "x",
+                                 "gate": true, "direction": "higher"},
+        "grid.kernels_s": {"value": 33.4, "unit": "s"}
+      },
+      "history": [{"label": "pr5", "metrics": {...}}]
+    }
+
+Metrics are a flat dotted-name map. A metric with ``"gate": true``
+participates in regression checks; ``direction`` says which way is
+better (``higher``, the default, for speedups and rates; ``lower`` for
+wall-clocks and latencies). ``history`` is an append-only list of past
+``{label, metrics}`` snapshots — the cross-PR trajectory.
+
+CLI::
+
+    python -m repro.obs.bench compare OLD NEW --gate 0.8   # exit 1 on regression
+    python -m repro.obs.bench show FILE
+    python -m repro.obs.bench append BASELINE MEASURED --label pr7
+    python -m repro.obs.bench migrate LEGACY --suite kernels -o NEW.json
+
+``compare`` replaces the three inline CI ratio checks: for every gated
+metric in OLD, the measured NEW value must reach ``gate`` (default
+0.8) times the baseline — ratio-based, so absolute machine speed
+cancels out of speedup-style metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+BENCH_FORMAT = "repro-bench-v1"
+
+HIGHER = "higher"
+LOWER = "lower"
+
+
+def machine_stanza(note: Optional[str] = None) -> Dict[str, Any]:
+    """The shared machine fingerprint every suite embeds."""
+    stanza: Dict[str, Any] = {
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    if note:
+        stanza["note"] = note
+    return stanza
+
+
+def metric(
+    value: float,
+    unit: str = "",
+    gate: bool = False,
+    direction: str = HIGHER,
+) -> Dict[str, Any]:
+    """One metric entry; only non-default fields are serialized."""
+    if direction not in (HIGHER, LOWER):
+        raise ValueError(f"direction must be higher|lower, got {direction!r}")
+    entry: Dict[str, Any] = {"value": value}
+    if unit:
+        entry["unit"] = unit
+    if gate:
+        entry["gate"] = True
+    if direction != HIGHER:
+        entry["direction"] = direction
+    return entry
+
+
+def make_report(
+    suite: str,
+    metrics: Mapping[str, Mapping[str, Any]],
+    machine: Optional[Mapping[str, Any]] = None,
+    history: Optional[Sequence[Mapping[str, Any]]] = None,
+) -> Dict[str, Any]:
+    return {
+        "format": BENCH_FORMAT,
+        "suite": suite,
+        "machine": dict(machine) if machine is not None else machine_stanza(),
+        "metrics": {name: dict(entry) for name, entry in metrics.items()},
+        "history": [dict(h) for h in history] if history else [],
+    }
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("format") != BENCH_FORMAT:
+        raise ValueError(
+            f"{path}: not a {BENCH_FORMAT} file "
+            f"(format={payload.get('format')!r}); "
+            f"run `python -m repro.obs.bench migrate` on legacy files"
+        )
+    return payload
+
+
+#: Package-level alias — ``repro.obs.load_bench_report``.
+load_bench_report = load_report
+
+
+def save_report(report: Mapping[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def append_history(
+    baseline: Dict[str, Any], measured: Mapping[str, Any], label: str
+) -> Dict[str, Any]:
+    """Append MEASURED's metric values to BASELINE's trajectory."""
+    baseline.setdefault("history", []).append({
+        "label": label,
+        "machine": measured.get("machine", {}),
+        "metrics": {
+            name: entry["value"]
+            for name, entry in measured.get("metrics", {}).items()
+        },
+    })
+    return baseline
+
+
+# -- regression gate ------------------------------------------------
+
+
+def compare_reports(
+    old: Mapping[str, Any],
+    new: Mapping[str, Any],
+    gate: float = 0.8,
+    out=None,
+) -> List[str]:
+    """Gate NEW against OLD; returns the names of regressed metrics.
+
+    Every baseline metric with ``gate: true`` must be present in NEW
+    and reach ``gate`` times the baseline value (for ``higher``
+    metrics; the reciprocal discipline for ``lower`` ones — NEW may
+    grow to at most baseline/gate). Ungated metrics are informational.
+    """
+    out = out if out is not None else sys.stdout
+    old_metrics = old.get("metrics", {})
+    new_metrics = new.get("metrics", {})
+    failures: List[str] = []
+    gated = [name for name, entry in sorted(old_metrics.items())
+             if entry.get("gate")]
+    if not gated:
+        print("[bench] baseline has no gated metrics; nothing to check",
+              file=out)
+        return []
+    for name in gated:
+        baseline_entry = old_metrics[name]
+        reference = baseline_entry["value"]
+        direction = baseline_entry.get("direction", HIGHER)
+        measured_entry = new_metrics.get(name)
+        if measured_entry is None:
+            print(f"[{name}] MISSING from measured report", file=out)
+            failures.append(name)
+            continue
+        measured = measured_entry["value"]
+        unit = baseline_entry.get("unit", "")
+        if direction == LOWER:
+            # Lower is better: regression when measured grows past
+            # reference / gate (e.g. gate 0.8 allows +25% wall-clock).
+            floor = reference / gate if gate else float("inf")
+            ok = measured <= floor
+            bound = f"ceiling {floor:.3g}{unit}"
+        else:
+            floor = reference * gate
+            ok = measured >= floor
+            bound = f"floor {floor:.3g}{unit}"
+        status = "ok" if ok else "REGRESSED"
+        print(
+            f"[{name}] measured {measured:.4g}{unit} vs baseline "
+            f"{reference:.4g}{unit} ({bound}): {status}",
+            file=out,
+        )
+        if not ok:
+            failures.append(name)
+    if failures:
+        print(
+            f"FAIL: {len(failures)} gated metric(s) regressed past "
+            f"{gate:.0%} of baseline: {', '.join(failures)}",
+            file=out,
+        )
+    else:
+        print(f"[bench] all {len(gated)} gated metrics within "
+              f"{gate:.0%} of baseline", file=out)
+    return failures
+
+
+# -- legacy migration -----------------------------------------------
+
+
+def _flatten(node: Any, prefix: str, into: Dict[str, float]) -> None:
+    if isinstance(node, dict):
+        for key, value in node.items():
+            _flatten(value, f"{prefix}.{key}" if prefix else key, into)
+    elif isinstance(node, bool):
+        into[prefix] = 1.0 if node else 0.0
+    elif isinstance(node, (int, float)):
+        into[prefix] = node
+
+
+def migrate_legacy(
+    payload: Mapping[str, Any],
+    suite: str,
+    gates: Mapping[str, str] = (),
+    units: Mapping[str, str] = (),
+) -> Dict[str, Any]:
+    """Flatten a pre-``repro-bench-v1`` nested report.
+
+    Numeric leaves become dotted metric names; the ``machine`` stanza
+    is carried over. ``gates`` maps metric name -> direction for the
+    metrics that should participate in regression checks; ``units``
+    annotates display units.
+    """
+    if payload.get("format") == BENCH_FORMAT:
+        return dict(payload)
+    flat: Dict[str, float] = {}
+    machine = payload.get("machine", {})
+    for key, value in payload.items():
+        if key == "machine":
+            continue
+        _flatten(value, key, flat)
+    gates = dict(gates)
+    units = dict(units)
+    metrics = {
+        name: metric(
+            value,
+            unit=units.get(name, ""),
+            gate=name in gates,
+            direction=gates.get(name, HIGHER),
+        )
+        for name, value in flat.items()
+    }
+    return make_report(suite, metrics, machine=machine)
+
+
+# -- CLI ------------------------------------------------------------
+
+
+def _render(report: Mapping[str, Any], out) -> None:
+    machine = report.get("machine", {})
+    print(
+        f"suite {report.get('suite', '?')} on {machine.get('cpus', '?')} "
+        f"cpu(s), python {machine.get('python', '?')}",
+        file=out,
+    )
+    metrics = report.get("metrics", {})
+    width = max((len(name) for name in metrics), default=0)
+    for name, entry in sorted(metrics.items()):
+        flags = []
+        if entry.get("gate"):
+            flags.append("gate")
+        if entry.get("direction", HIGHER) != HIGHER:
+            flags.append(entry["direction"])
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        print(
+            f"  {name:<{width}}  {entry['value']:>12.4g}"
+            f"{entry.get('unit', '')}{suffix}",
+            file=out,
+        )
+    history = report.get("history", [])
+    if history:
+        labels = ", ".join(str(h.get("label", "?")) for h in history)
+        print(f"  history: {len(history)} snapshot(s): {labels}", file=out)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="perf-trajectory tracker for repro-bench-v1 files",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare_p = sub.add_parser(
+        "compare", help="gate a measured report against a baseline")
+    compare_p.add_argument("old", help="committed baseline JSON")
+    compare_p.add_argument("new", help="freshly measured JSON")
+    compare_p.add_argument("--gate", type=float, default=0.8,
+                           help="fraction of baseline a gated metric "
+                           "must reach (default 0.8)")
+
+    show_p = sub.add_parser("show", help="render a report")
+    show_p.add_argument("file")
+
+    append_p = sub.add_parser(
+        "append", help="append a measured run to a baseline's history")
+    append_p.add_argument("baseline")
+    append_p.add_argument("measured")
+    append_p.add_argument("--label", required=True)
+
+    migrate_p = sub.add_parser(
+        "migrate", help="convert a legacy nested report to repro-bench-v1")
+    migrate_p.add_argument("legacy")
+    migrate_p.add_argument("--suite", required=True)
+    migrate_p.add_argument("-o", "--output", required=True)
+    migrate_p.add_argument(
+        "--gate-metric", action="append", default=[],
+        metavar="NAME[:DIRECTION]",
+        help="mark a migrated metric as gated (repeatable)")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "compare":
+        failures = compare_reports(
+            load_report(args.old), load_report(args.new), gate=args.gate)
+        return 1 if failures else 0
+    if args.command == "show":
+        _render(load_report(args.file), sys.stdout)
+        return 0
+    if args.command == "append":
+        baseline = load_report(args.baseline)
+        measured = load_report(args.measured)
+        append_history(baseline, measured, args.label)
+        save_report(baseline, args.baseline)
+        print(f"[bench] appended {args.label!r} to {args.baseline} "
+              f"({len(baseline['history'])} snapshot(s))")
+        return 0
+    if args.command == "migrate":
+        with open(args.legacy, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        gates = {}
+        for spec in args.gate_metric:
+            name, _, direction = spec.partition(":")
+            gates[name] = direction or HIGHER
+        report = migrate_legacy(payload, args.suite, gates=gates)
+        save_report(report, args.output)
+        print(f"[bench] migrated {args.legacy} -> {args.output} "
+              f"({len(report['metrics'])} metrics, {len(gates)} gated)")
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -118,6 +118,7 @@ class Histogram:
             "max": self.max if self.max is not None else 0.0,
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
     def merge(self, other: "Histogram") -> None:

@@ -1,0 +1,399 @@
+"""Wall-clock profiling without ``sys.setprofile``.
+
+The ROADMAP's "next 10x" item needs to know *where* wall-clock goes
+before vectorizing :class:`MemoryRegion` or parallelizing the shard
+loop. ``cProfile`` answers that at 2-4x overhead and with call-count
+noise; this module answers it two cheaper ways and cross-checks them:
+
+* :class:`StackSampler` — a signal-less daemon thread that periodically
+  grabs the profiled thread's stack via ``sys._current_frames()`` and
+  folds it into collapsed-stack counts (the ``a;b;c N`` format standard
+  flamegraph tooling consumes). Statistical, whole-program, ~0.1%
+  overhead at the default 2 ms period.
+* :class:`SubsystemTimers` — exact ``perf_counter`` timers at event
+  dispatch boundaries, fed by the ``on_event`` hook on
+  :meth:`Simulator.run`. Deterministic attribution keyed by the owning
+  subsystem (the event action's module) and the event name with digits
+  normalized (``shard-3-heartbeat`` -> ``shard-N-heartbeat``).
+
+:func:`profile` wraps any callable with both, returning a
+:class:`ProfileReport` that renders the per-subsystem attribution
+table, writes the collapsed stacks, and exports a Chrome
+``trace_event`` view mergeable with the simulator's own spans.
+
+Nothing here touches simulated state: profiling changes wall-clock
+only, never measured output — the detached golden grid stays
+byte-identical, same discipline as the rest of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+#: Leaf-ward longest-prefix map from module path to subsystem label.
+#: Order does not matter — the longest matching prefix wins.
+SUBSYSTEM_PREFIXES: Dict[str, str] = {
+    "repro.fastpath.kernels": "kernels",
+    "repro.fastpath.replay": "replay-cache",
+    "repro.fastpath.parallel": "parallel-runner",
+    "repro.fastpath": "fastpath",
+    "repro.memory.write_buffer": "write-buffer",
+    "repro.memory": "memory-region",
+    "repro.sim": "sim-core",
+    "repro.cluster": "cluster",
+    "repro.hardware": "hardware",
+    "repro.replication": "replication",
+    "repro.san": "san",
+    "repro.shard": "shard",
+    "repro.quorum.merkle": "merkle",
+    "repro.quorum": "quorum",
+    "repro.workloads": "workload",
+    "repro.perf": "perf-model",
+    "repro.experiments": "experiments",
+    "repro.obs": "obs",
+    "repro.vista": "engine",
+}
+
+_DIGITS = re.compile(r"\d+")
+
+
+def classify_module(module: str) -> Optional[str]:
+    """Subsystem label for a module path, or None when not ours."""
+    best = None
+    best_len = -1
+    for prefix, label in SUBSYSTEM_PREFIXES.items():
+        if len(prefix) > best_len and (
+            module == prefix or module.startswith(prefix + ".")
+        ):
+            best, best_len = label, len(prefix)
+    if best is None and (module == "repro" or module.startswith("repro.")):
+        return "repro-misc"
+    return best
+
+
+def classify_stack(modules: List[str]) -> str:
+    """Subsystem for one captured stack: the *nearest-to-leaf* frame
+    living in a ``repro`` module decides (a kernel calling ``json`` is
+    still kernel time); stacks with no repro frame are "other"."""
+    for module in reversed(modules):
+        label = classify_module(module)
+        if label is not None:
+            return label
+    return "other"
+
+
+def normalize_event_name(name: str) -> str:
+    """Collapse per-instance digits so timer keys aggregate
+    (``shard-3-heartbeat`` -> ``shard-N-heartbeat``)."""
+    return _DIGITS.sub("N", name) if name else "(unnamed)"
+
+
+# -- collapsed stacks -----------------------------------------------
+
+
+def collapsed_text(samples: Mapping[Tuple[str, ...], int]) -> str:
+    """Render folded samples as flamegraph collapsed-stack lines —
+    ``root;child;leaf count`` — sorted for determinism."""
+    lines = []
+    for stack, count in sorted(samples.items()):
+        lines.append(f"{';'.join(stack)} {count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_collapsed(text: str) -> Dict[Tuple[str, ...], int]:
+    """Inverse of :func:`collapsed_text` (the round-trip is tested)."""
+    samples: Dict[Tuple[str, ...], int] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        stack_part, _, count_part = line.rpartition(" ")
+        if not stack_part or not count_part.isdigit():
+            raise ValueError(f"malformed collapsed-stack line: {line!r}")
+        stack = tuple(stack_part.split(";"))
+        samples[stack] = samples.get(stack, 0) + int(count_part)
+    return samples
+
+
+class StackSampler:
+    """Periodic stack capture of one thread from a sampler thread.
+
+    No signals, no ``sys.setprofile``: a daemon thread wakes every
+    ``interval_s``, reads the target thread's current frame out of
+    ``sys._current_frames()``, and folds it. The profiled code runs
+    unmodified; overhead is the GIL time to walk one stack per tick.
+    """
+
+    def __init__(self, interval_s: float = 0.002,
+                 target_thread_id: Optional[int] = None) -> None:
+        self.interval_s = interval_s
+        self.target_thread_id = (
+            threading.get_ident() if target_thread_id is None
+            else target_thread_id
+        )
+        self.samples: Counter = Counter()       # stack tuple -> hits
+        self.module_stacks: Counter = Counter()  # module tuple -> hits
+        self.total_samples = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def _capture_once(self) -> None:
+        frame = sys._current_frames().get(self.target_thread_id)
+        if frame is None:
+            return
+        names: List[str] = []
+        modules: List[str] = []
+        while frame is not None:
+            code = frame.f_code
+            module = frame.f_globals.get("__name__", "?")
+            names.append(f"{module}:{code.co_name}")
+            modules.append(module)
+            frame = frame.f_back
+        names.reverse()
+        modules.reverse()
+        self.samples[tuple(names)] += 1
+        self.module_stacks[tuple(modules)] += 1
+        self.total_samples += 1
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._capture_once()
+
+    def start(self) -> "StackSampler":
+        if self._thread is not None:
+            raise ValueError("sampler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-stack-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "StackSampler":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def subsystem_fractions(self) -> Dict[str, float]:
+        """Fraction of samples attributed to each subsystem."""
+        if not self.total_samples:
+            return {}
+        totals: Counter = Counter()
+        for modules, hits in self.module_stacks.items():
+            totals[classify_stack(list(modules))] += hits
+        return {
+            label: hits / self.total_samples
+            for label, hits in sorted(
+                totals.items(), key=lambda kv: (-kv[1], kv[0]))
+        }
+
+    def collapsed(self) -> str:
+        return collapsed_text(self.samples)
+
+
+# -- exact dispatch timers ------------------------------------------
+
+
+class SubsystemTimers:
+    """Exact per-subsystem wall-clock at event-dispatch boundaries.
+
+    Pass :meth:`on_event` to ``Simulator.run(on_event=...)``: each
+    dispatch is timed with ``perf_counter`` and charged to
+    ``(subsystem, normalized event name)`` where the subsystem comes
+    from the event action's defining module (a bound method's
+    ``__module__`` is its class's module — the owning component).
+    """
+
+    def __init__(self) -> None:
+        self.wall_s: Dict[Tuple[str, str], float] = {}
+        self.counts: Dict[Tuple[str, str], int] = {}
+        self.total_s = 0.0
+        self.events = 0
+
+    def on_event(self, event) -> None:
+        action = event.action
+        t0 = time.perf_counter()
+        action()
+        elapsed = time.perf_counter() - t0
+        module = getattr(action, "__module__", None) or "?"
+        key = (classify_module(module) or "other",
+               normalize_event_name(event.name))
+        self.wall_s[key] = self.wall_s.get(key, 0.0) + elapsed
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.total_s += elapsed
+        self.events += 1
+
+    def by_subsystem(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for (subsystem, _), secs in self.wall_s.items():
+            totals[subsystem] = totals.get(subsystem, 0.0) + secs
+        return dict(sorted(totals.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def rows(self) -> List[Tuple[str, str, float, int]]:
+        """(subsystem, event name, seconds, dispatches), slowest first."""
+        return sorted(
+            ((sub, name, secs, self.counts[(sub, name)])
+             for (sub, name), secs in self.wall_s.items()),
+            key=lambda row: (-row[2], row[0], row[1]),
+        )
+
+
+# -- the report -----------------------------------------------------
+
+
+@dataclass
+class ProfileReport:
+    """Joined output of one profiled run."""
+
+    wall_s: float
+    sample_interval_s: float
+    total_samples: int
+    fractions: Dict[str, float]                      # sampled attribution
+    collapsed: str                                    # flamegraph input
+    timers: Optional[SubsystemTimers] = None          # exact dispatch timers
+    label: str = "profile"
+
+    @property
+    def attributed_fraction(self) -> float:
+        """Fraction of samples landing in a named repro subsystem."""
+        return sum(frac for label, frac in self.fractions.items()
+                   if label != "other")
+
+    def render(self) -> str:
+        lines = [
+            f"{self.label}: {self.wall_s:.2f}s wall, "
+            f"{self.total_samples} samples @ "
+            f"{self.sample_interval_s * 1000:.1f}ms",
+            "",
+            "subsystem wall-clock (sampled):",
+        ]
+        for label, frac in self.fractions.items():
+            lines.append(f"  {label:<16} {frac * 100:6.1f}%  "
+                         f"{frac * self.wall_s:8.2f}s")
+        lines.append(f"  {'[attributed]':<16} "
+                     f"{self.attributed_fraction * 100:6.1f}%")
+        if self.timers is not None and self.timers.events:
+            lines += ["", "event dispatch (exact timers):"]
+            lines.append(f"  {'subsystem':<16} {'event':<28} "
+                         f"{'seconds':>9} {'dispatches':>11}")
+            for subsystem, name, secs, count in self.timers.rows()[:20]:
+                lines.append(f"  {subsystem:<16} {name:<28} "
+                             f"{secs:9.3f} {count:11d}")
+            lines.append(
+                f"  dispatch total {self.timers.total_s:.2f}s over "
+                f"{self.timers.events} events"
+            )
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "label": self.label,
+            "wall_s": self.wall_s,
+            "sample_interval_s": self.sample_interval_s,
+            "total_samples": self.total_samples,
+            "fractions": dict(self.fractions),
+            "attributed_fraction": self.attributed_fraction,
+        }
+        if self.timers is not None:
+            payload["dispatch"] = {
+                "total_s": self.timers.total_s,
+                "events": self.timers.events,
+                "rows": [
+                    {"subsystem": sub, "event": name,
+                     "seconds": secs, "dispatches": count}
+                    for sub, name, secs, count in self.timers.rows()
+                ],
+            }
+        return payload
+
+    def write_collapsed(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.collapsed)
+
+    def chrome_trace_dict(
+        self, base: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Chrome ``trace_event`` view of the profile; pass an existing
+        export (e.g. :func:`repro.obs.export.chrome_trace_dict` output)
+        as ``base`` to merge profiler lanes next to the simulator's own
+        spans. Profiler slices live on their own pid so the two
+        timelines stay visually separate."""
+        merged: List[Dict[str, Any]] = []
+        if base:
+            merged.extend(base.get("traceEvents", []))
+        pid = "repro-profiler"
+        merged.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"wall-clock profile: {self.label}"},
+        })
+        cursor = 0.0
+        for label, frac in self.fractions.items():
+            dur = frac * self.wall_s * 1e6
+            merged.append({
+                "name": label, "ph": "X", "pid": pid,
+                "tid": "sampled-subsystems",
+                "ts": cursor, "dur": dur,
+                "args": {"fraction": frac},
+            })
+            cursor += dur
+        if self.timers is not None:
+            cursor = 0.0
+            for subsystem, name, secs, count in self.timers.rows():
+                merged.append({
+                    "name": f"{subsystem}: {name}", "ph": "X", "pid": pid,
+                    "tid": "dispatch-timers",
+                    "ts": cursor, "dur": secs * 1e6,
+                    "args": {"dispatches": count},
+                })
+                cursor += secs * 1e6
+        result = dict(base) if base else {"displayTimeUnit": "ms"}
+        result["traceEvents"] = merged
+        return result
+
+    def write_chrome_trace(
+        self, path: str, base: Optional[Dict[str, Any]] = None
+    ) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.chrome_trace_dict(base), fh, indent=1)
+
+
+def profile(
+    fn: Callable[[], Any],
+    interval_s: float = 0.002,
+    label: str = "profile",
+    timers: Optional[SubsystemTimers] = None,
+) -> Tuple[Any, ProfileReport]:
+    """Run ``fn`` under the stack sampler and return
+    ``(fn's result, report)``. Pass a :class:`SubsystemTimers` whose
+    ``on_event`` the profiled code fed to ``Simulator.run`` to include
+    exact dispatch attribution in the report."""
+    sampler = StackSampler(interval_s=interval_s)
+    t0 = time.perf_counter()
+    with sampler:
+        result = fn()
+    wall = time.perf_counter() - t0
+    report = ProfileReport(
+        wall_s=wall,
+        sample_interval_s=interval_s,
+        total_samples=sampler.total_samples,
+        fractions=sampler.subsystem_fractions(),
+        collapsed=sampler.collapsed(),
+        timers=timers,
+        label=label,
+    )
+    return result, report

@@ -341,7 +341,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             "to pipeline phases."
         ),
     )
-    parser.add_argument("trace", help="path to a JSONL trace file")
+    parser.add_argument(
+        "trace",
+        help="path to a JSONL trace file (or, with --series, a "
+             "repro-series-v1 series file)",
+    )
     parser.add_argument(
         "--window-us", type=float, default=1_000.0,
         help="throughput window width in simulated us (default 1000)",
@@ -378,16 +382,62 @@ def main(argv: Optional[List[str]] = None) -> int:
              "attribution",
     )
     parser.add_argument(
+        "--series", action="store_true",
+        help="render the sampled time series (sparkline per probe): "
+             "rebuilt from the trace's series.sample events, or read "
+             "directly when the input file is itself repro-series-v1 "
+             "JSONL",
+    )
+    parser.add_argument(
+        "--series-out", metavar="PATH", default=None,
+        help="with --series, additionally write the series as "
+             "canonical repro-series-v1 JSONL to PATH",
+    )
+    parser.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="output format (json emits one object with a section per "
              "requested report)",
     )
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the report to FILE instead of stdout (parent "
+             "directories are created; exit status is unchanged)",
+    )
     args = parser.parse_args(argv)
-    try:
-        events, _metrics = read_jsonl(args.trace)
-    except OSError as error:
-        parser.error(f"cannot read trace file: {error}")
-    report = analyze_timeline(events, window_us=args.window_us)
+    if args.series_out and not args.series:
+        parser.error("--series-out requires --series")
+
+    emitted: List[str] = []
+
+    def _emit(text: str) -> None:
+        emitted.append(text)
+
+    frame = None
+    series_only = False
+    if args.series:
+        from repro.obs.series import SERIES_FORMAT, SeriesFrame
+
+        try:
+            head = open(args.trace, "r", encoding="utf-8").readline()
+        except OSError as error:
+            parser.error(f"cannot read trace file: {error}")
+        if f'"{SERIES_FORMAT}"' in head:
+            frame = SeriesFrame.read_jsonl(args.trace)
+            series_only = True
+
+    if series_only:
+        events: List[TraceEvent] = []
+        report = analyze_timeline(events, window_us=args.window_us)
+    else:
+        try:
+            events, _metrics = read_jsonl(args.trace)
+        except OSError as error:
+            parser.error(f"cannot read trace file: {error}")
+        report = analyze_timeline(events, window_us=args.window_us)
+        if args.series:
+            from repro.obs.series import SeriesFrame
+
+            frame = SeriesFrame.from_events(events)
 
     audit_report = None
     if args.audit:
@@ -404,27 +454,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     attribution = attribute_commits(events) if args.spans else None
 
     if args.format == "json":
-        payload: Dict[str, object] = {"timeline": report.to_dict()}
+        payload: Dict[str, object] = {}
+        if not series_only:
+            payload["timeline"] = report.to_dict()
+        if frame is not None:
+            payload["series"] = frame.to_dict()
         if audit_report is not None:
             payload["audit"] = audit_report.to_dict()
         if slo_report is not None:
             payload["slo"] = slo_report.to_dict()
         if attribution is not None:
             payload["attribution"] = attribution.to_dict()
-        print(_json.dumps(payload, indent=2, sort_keys=True))
+        _emit(_json.dumps(payload, indent=2, sort_keys=True))
     else:
-        sections = [report.render()]
+        sections = [] if series_only else [report.render()]
+        if frame is not None:
+            sections.append(frame.render())
         if audit_report is not None:
             sections.append(audit_report.render())
         if slo_report is not None:
             sections.append(slo_report.render())
         if attribution is not None:
             sections.append(attribution.render())
-        print("\n\n".join(sections))
+        _emit("\n\n".join(sections))
     if args.chrome_trace:
         write_chrome_trace(args.chrome_trace, events)
         if args.format != "json":
-            print(f"\n  chrome trace written to {args.chrome_trace}")
+            _emit(f"\n  chrome trace written to {args.chrome_trace}")
+    if frame is not None and args.series_out:
+        frame.write_jsonl(args.series_out)
+        if args.format != "json":
+            _emit(f"\n  series written to {args.series_out}")
+
+    text = "\n".join(emitted)
+    if args.output:
+        from pathlib import Path as _Path
+
+        target = _Path(args.output)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
     if audit_report is not None and not audit_report.ok:
         return 1
     return 0

@@ -130,6 +130,17 @@ class EventQueue:
             return heap[0][0]
         return None
 
+    def distinct_times(self) -> int:
+        """Number of distinct firing times among pending entries.
+
+        Counts lazily-cancelled events that have not yet surfaced, the
+        same discipline as ``len()``, so both queue implementations
+        report the same figure for identical contents. This is the
+        "timer-wheel occupancy" probe: how many wheel buckets the same
+        schedule would occupy.
+        """
+        return len({entry[0] for entry in self._heap})
+
     def clear(self) -> None:
         """Drop all pending events."""
         self._heap.clear()
@@ -233,6 +244,15 @@ class BucketedEventQueue:
             heapq.heappop(heap)
             del buckets[time]
         return None
+
+    def distinct_times(self) -> int:
+        """Number of distinct firing times among pending entries.
+
+        For the wheel this is exactly the number of live buckets (one
+        heap float per distinct time); matches the reference queue's
+        figure for identical contents.
+        """
+        return len(self._heap)
 
     def clear(self) -> None:
         """Drop all pending events."""

@@ -1,0 +1,198 @@
+"""The perf-trajectory tracker: schema, gate math, migration, CLI.
+
+``repro-bench-v1`` is the one canonical benchmark format; every suite
+writes it and one compare implementation replaces the per-script ratio
+gates. These tests pin the regression arithmetic in both directions,
+the legacy flattening, the history trajectory, and the CLI exit codes
+CI relies on.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_FORMAT,
+    append_history,
+    compare_reports,
+    load_report,
+    machine_stanza,
+    main,
+    make_report,
+    metric,
+    migrate_legacy,
+    save_report,
+)
+
+
+def _report(**values):
+    metrics = {}
+    for name, spec in values.items():
+        metrics[name.replace("__", ".")] = spec
+    return make_report("demo", metrics)
+
+
+# -- schema ---------------------------------------------------------
+
+
+def test_metric_serializes_only_non_defaults():
+    assert metric(3.0) == {"value": 3.0}
+    assert metric(3.0, unit="x", gate=True) == {
+        "value": 3.0, "unit": "x", "gate": True,
+    }
+    assert metric(1.5, direction="lower") == {
+        "value": 1.5, "direction": "lower",
+    }
+    with pytest.raises(ValueError):
+        metric(1.0, direction="sideways")
+
+
+def test_save_load_round_trip(tmp_path):
+    report = _report(speedup=metric(2.0, unit="x", gate=True))
+    path = str(tmp_path / "BENCH_demo.json")
+    save_report(report, path)
+    again = load_report(path)
+    assert again == report
+    assert again["format"] == BENCH_FORMAT
+    assert set(again["machine"]) >= {"cpus", "python", "platform"}
+
+
+def test_load_rejects_legacy_payloads(tmp_path):
+    path = tmp_path / "old.json"
+    path.write_text(json.dumps({"grid": {"speedup": 2.0}}))
+    with pytest.raises(ValueError, match="migrate"):
+        load_report(str(path))
+
+
+def test_machine_stanza_note_is_optional():
+    assert "note" not in machine_stanza()
+    assert machine_stanza("pinned cpu")["note"] == "pinned cpu"
+
+
+# -- the regression gate --------------------------------------------
+
+
+def test_compare_passes_within_gate(capsys):
+    old = _report(speedup=metric(2.0, gate=True))
+    new = _report(speedup=metric(1.7))
+    assert compare_reports(old, new, gate=0.8) == []
+    assert "ok" in capsys.readouterr().out
+
+
+def test_compare_fails_on_30_percent_regression(capsys):
+    old = _report(speedup=metric(2.0, gate=True))
+    new = _report(speedup=metric(1.4))  # 70% of baseline < 80% gate
+    assert compare_reports(old, new, gate=0.8) == ["speedup"]
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_compare_lower_is_better_direction():
+    old = _report(wall_s=metric(10.0, gate=True, direction="lower"))
+    ok = _report(wall_s=metric(12.0))     # +20% <= 10/0.8 ceiling
+    bad = _report(wall_s=metric(13.0))    # +30% past the ceiling
+    assert compare_reports(old, ok, gate=0.8, out=_DevNull()) == []
+    assert compare_reports(old, bad, gate=0.8, out=_DevNull()) == ["wall_s"]
+
+
+def test_compare_missing_gated_metric_fails():
+    old = _report(speedup=metric(2.0, gate=True))
+    new = make_report("demo", {})
+    assert compare_reports(old, new, out=_DevNull()) == ["speedup"]
+
+
+def test_compare_without_gates_is_vacuous():
+    old = _report(info=metric(1.0))
+    new = _report(info=metric(0.0))
+    assert compare_reports(old, new, out=_DevNull()) == []
+
+
+class _DevNull:
+    def write(self, _):
+        pass
+
+    def flush(self):
+        pass
+
+
+# -- history trajectory ---------------------------------------------
+
+
+def test_append_history_records_values_only():
+    baseline = _report(speedup=metric(2.0, gate=True))
+    measured = _report(speedup=metric(2.2, unit="x"))
+    append_history(baseline, measured, label="pr-7")
+    (entry,) = baseline["history"]
+    assert entry["label"] == "pr-7"
+    assert entry["metrics"] == {"speedup": 2.2}
+
+
+# -- legacy migration -----------------------------------------------
+
+
+def test_migrate_legacy_flattens_nested_numbers():
+    legacy = {
+        "machine": {"cpus": 4, "python": "3.11.7", "platform": "test"},
+        "grid": {"speedup": 2.5, "output_identical": True,
+                 "label": "ignored-string"},
+        "cells": {"fast_s": 1.25},
+    }
+    migrated = migrate_legacy(
+        legacy, "fastpath",
+        gates={"grid.speedup": "higher"},
+        units={"grid.speedup": "x"},
+    )
+    metrics = migrated["metrics"]
+    assert metrics["grid.speedup"] == {
+        "value": 2.5, "unit": "x", "gate": True,
+    }
+    assert metrics["grid.output_identical"]["value"] == 1.0
+    assert "grid.label" not in metrics
+    assert migrated["machine"]["cpus"] == 4
+    # Already-migrated payloads pass through untouched.
+    assert migrate_legacy(migrated, "fastpath") == migrated
+
+
+# -- CLI ------------------------------------------------------------
+
+
+def test_cli_compare_exit_codes(tmp_path, capsys):
+    old_path = str(tmp_path / "old.json")
+    good_path = str(tmp_path / "good.json")
+    bad_path = str(tmp_path / "bad.json")
+    save_report(_report(speedup=metric(2.0, gate=True)), old_path)
+    save_report(_report(speedup=metric(1.9)), good_path)
+    save_report(_report(speedup=metric(1.4)), bad_path)
+
+    assert main(["compare", old_path, good_path, "--gate", "0.8"]) == 0
+    assert main(["compare", old_path, bad_path, "--gate", "0.8"]) == 1
+    capsys.readouterr()
+
+
+def test_cli_show_and_append(tmp_path, capsys):
+    base_path = str(tmp_path / "base.json")
+    new_path = str(tmp_path / "new.json")
+    save_report(_report(speedup=metric(2.0, gate=True)), base_path)
+    save_report(_report(speedup=metric(2.1)), new_path)
+
+    assert main(["show", base_path]) == 0
+    assert "speedup" in capsys.readouterr().out
+
+    assert main(["append", base_path, new_path, "--label", "run-1"]) == 0
+    assert load_report(base_path)["history"][0]["label"] == "run-1"
+    capsys.readouterr()
+
+
+def test_cli_migrate(tmp_path, capsys):
+    legacy_path = tmp_path / "legacy.json"
+    out_path = str(tmp_path / "migrated.json")
+    legacy_path.write_text(json.dumps({
+        "machine": {"cpus": 1},
+        "grid": {"speedup": 3.0},
+    }))
+    assert main([
+        "migrate", str(legacy_path), "--suite", "demo", "--output", out_path,
+        "--gate-metric", "grid.speedup",
+    ]) == 0
+    migrated = load_report(out_path)
+    assert migrated["metrics"]["grid.speedup"]["gate"] is True
+    capsys.readouterr()

@@ -46,6 +46,9 @@ def test_histogram_buckets_and_summary():
     assert summary["min"] == 0.5
     assert summary["max"] == 500.0
     assert summary["mean"] == pytest.approx(111.3)
+    # p99 of 5 observations is the last one — the overflow bucket
+    # reports the exact max, not a bucket edge.
+    assert summary["p99"] == 500.0
 
 
 def test_histogram_quantile_reports_bucket_edges():
@@ -74,6 +77,7 @@ def test_empty_histogram_summary_is_zeroed():
     assert summary["count"] == 0
     assert summary["mean"] == 0.0
     assert summary["p95"] == 0.0
+    assert summary["p99"] == 0.0
 
 
 def test_registry_creates_on_first_use():
@@ -137,6 +141,10 @@ def test_histogram_merge_folds_everything():
     assert a.min == 0.5
     assert a.max == 700.0
     assert sum(a.bucket_counts) == 4
+    # Quantiles come back out of the merged buckets: the 700.0
+    # observation sits in the 1000-edge bucket, so p99 reports that
+    # edge (bucket-approximated, like every finite-bucket quantile).
+    assert a.summary()["p99"] == 1000.0
     # Merging an empty histogram changes nothing.
     before = (list(a.bucket_counts), a.count, a.sum, a.min, a.max)
     a.merge(Histogram("h"))

@@ -1,0 +1,205 @@
+"""The wall-clock profiler: classification, collapsed stacks, timers.
+
+``sys.setprofile`` is never used (it would distort the measured code);
+attribution comes from a sampler thread reading the target thread's
+frames plus exact ``perf_counter`` timers at event-dispatch
+boundaries. These tests pin the classifier's longest-prefix rules, the
+collapsed-stack format round trip, and that a real simulation's wall
+clock is almost entirely attributed to repro subsystems.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.prof import (
+    ProfileReport,
+    StackSampler,
+    SubsystemTimers,
+    classify_module,
+    classify_stack,
+    collapsed_text,
+    normalize_event_name,
+    parse_collapsed,
+    profile,
+)
+
+
+# -- classification -------------------------------------------------
+
+
+def test_classify_module_longest_prefix_wins():
+    assert classify_module("repro.fastpath.kernels") == "kernels"
+    assert classify_module("repro.fastpath.replay") == "replay-cache"
+    assert classify_module("repro.fastpath.store") == "fastpath"
+    assert classify_module("repro.quorum.merkle") == "merkle"
+    assert classify_module("repro.quorum.group") == "quorum"
+    assert classify_module("repro.sim.engine") == "sim-core"
+    assert classify_module("repro.unmapped_layer") == "repro-misc"
+    assert classify_module("json.decoder") is None
+
+
+def test_classify_stack_walks_leaf_to_root():
+    stack = [
+        "runpy:_run_module_as_main",
+        "repro.experiments.runner:main",
+        "repro.sim.engine:run",
+        "heapq:heappop",  # leaf is stdlib; nearest repro frame wins
+    ]
+    assert classify_stack(stack) == "sim-core"
+    assert classify_stack(["json:loads", "heapq:heappop"]) == "other"
+    assert classify_stack([]) == "other"
+
+
+def test_normalize_event_name_folds_indices():
+    assert normalize_event_name("shard.2.heartbeat") == "shard.N.heartbeat"
+    assert normalize_event_name("series-tick") == "series-tick"
+    assert normalize_event_name("txn-1487-retry") == "txn-N-retry"
+
+
+# -- collapsed stacks -----------------------------------------------
+
+
+def test_collapsed_round_trip():
+    samples = {
+        ("a:f", "b:g", "c:h"): 12,
+        ("a:f",): 3,
+        ("a:f", "b:g"): 1,
+    }
+    text = collapsed_text(samples)
+    assert "a:f;b:g;c:h 12" in text.splitlines()
+    assert parse_collapsed(text) == samples
+
+
+def test_parse_collapsed_rejects_malformed_lines():
+    with pytest.raises(ValueError):
+        parse_collapsed("no-count-here\n")
+    with pytest.raises(ValueError):
+        parse_collapsed("stack notanumber\n")
+    assert parse_collapsed("\n\n") == {}
+
+
+# -- the sampler on a real run --------------------------------------
+
+
+def _spin_simulation() -> int:
+    """A real discrete-event run hot enough to catch samples."""
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    count = 0
+
+    def work() -> None:
+        nonlocal count
+        # Enough arithmetic per event to spend real wall-clock inside
+        # a repro.* frame.
+        count += sum(i * i for i in range(400)) % 7
+
+    for i in range(30_000):
+        sim.schedule_at(float(i), work, name=f"work-{i}")
+    sim.run()
+    return count
+
+
+def test_profile_attributes_simulation_wall_clock():
+    _, report = profile(_spin_simulation, interval_s=0.001, label="sim spin")
+    assert report.total_samples > 10, "sampler caught too few frames"
+    # The run is a pure simulator loop: nearly everything lands in a
+    # repro subsystem (the ISSUE's >= 95% bar, with headroom for
+    # interpreter startup edges).
+    assert report.attributed_fraction >= 0.95, report.fractions
+    assert report.wall_s > 0
+    text = report.render()
+    assert "sim spin" in text and "%" in text
+    # Collapsed output parses back to the sampler's exact counts.
+    parsed = parse_collapsed(report.collapsed)
+    assert sum(parsed.values()) == report.total_samples
+
+
+def test_sampler_start_stop_is_reentrant_safe():
+    sampler = StackSampler(interval_s=0.005)
+    with sampler:
+        time.sleep(0.02)
+    first = sampler.total_samples
+    assert first >= 1
+    # Stopping twice is a no-op, not an error.
+    sampler.stop()
+    assert sampler.total_samples == first
+
+
+# -- exact dispatch timers ------------------------------------------
+
+
+def test_subsystem_timers_attribute_event_dispatch():
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    timers = SubsystemTimers()
+    hits = []
+
+    def burn() -> None:
+        hits.append(sum(i for i in range(200)))
+
+    for i in range(50):
+        sim.schedule_at(float(i), burn, name=f"burn-{i}")
+    sim.run(on_event=timers.on_event)
+    assert len(hits) == 50
+    assert timers.events == 50
+    by_sub = timers.by_subsystem()
+    # The action is defined here (tests are outside repro.*): "other".
+    assert set(by_sub) == {"other"}
+    (subsystem, name, secs, count), = timers.rows()
+    assert (subsystem, name, count) == ("other", "burn-N", 50)
+    assert secs >= 0.0
+
+
+def test_on_event_hook_preserves_pop_order_and_results():
+    from repro.sim import Simulator
+
+    plain, hooked = [], []
+    for sink in (plain, hooked):
+        sim = Simulator()
+        for i in (3.0, 1.0, 2.0):
+            sim.schedule_at(i, lambda i=i: sink.append(i), name="e")
+        if sink is hooked:
+            timers = SubsystemTimers()
+            sim.run(on_event=timers.on_event)
+        else:
+            sim.run()
+    assert hooked == plain == [1.0, 2.0, 3.0]
+
+
+# -- report assembly ------------------------------------------------
+
+
+def test_report_dict_and_chrome_merge(tmp_path):
+    timers = SubsystemTimers()
+    report = ProfileReport(
+        wall_s=1.0,
+        sample_interval_s=0.002,
+        total_samples=100,
+        fractions={"sim-core": 0.7, "other": 0.3},
+        collapsed=collapsed_text(
+            {("repro.sim.engine:run",): 70, ("json:loads",): 30}
+        ),
+        timers=timers,
+        label="synthetic",
+    )
+    payload = report.to_dict()
+    assert payload["fractions"]["sim-core"] == 0.7
+    assert report.attributed_fraction == pytest.approx(0.7)
+
+    base = {"traceEvents": [{"ph": "X", "name": "existing"}]}
+    merged = report.chrome_trace_dict(base)
+    names = {e.get("name") for e in merged["traceEvents"]}
+    assert "existing" in names and "sim-core" in names
+    out = tmp_path / "merged.json"
+    report.write_chrome_trace(str(out), base)
+    assert json.loads(out.read_text())["traceEvents"]
+
+    collapsed_path = tmp_path / "stacks.collapsed"
+    report.write_collapsed(str(collapsed_path))
+    assert parse_collapsed(collapsed_path.read_text()) == {
+        ("repro.sim.engine:run",): 70, ("json:loads",): 30,
+    }

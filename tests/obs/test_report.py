@@ -194,3 +194,75 @@ def test_cli_json_without_sections_is_timeline_only(tmp_path, capsys):
     assert main([str(trace), "--format", "json"]) == 0
     payload = json.loads(capsys.readouterr().out)
     assert set(payload) == {"timeline"}
+
+
+def _events_with_series():
+    events = _failover_events()
+    for tick in range(3):
+        events.append(TraceEvent(
+            tick * 1_000.0, "series", "series.sample",
+            attrs={"router.completed": float(tick * 2), "queue": 1.0},
+        ))
+    return sorted(events, key=lambda e: e.ts_us)
+
+
+def test_cli_series_from_trace(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    write_jsonl(str(trace), _events_with_series())
+    assert main([str(trace), "--series"]) == 0
+    out = capsys.readouterr().out
+    assert "series: 3 samples" in out
+    assert "router.completed" in out
+
+
+def test_cli_series_out_and_series_file_input(tmp_path, capsys):
+    from repro.obs.series import SeriesFrame
+
+    trace = tmp_path / "trace.jsonl"
+    series_path = tmp_path / "series.jsonl"
+    write_jsonl(str(trace), _events_with_series())
+    assert main([str(trace), "--series",
+                 "--series-out", str(series_path)]) == 0
+    capsys.readouterr()
+    frame = SeriesFrame.read_jsonl(str(series_path))
+    assert len(frame) == 3
+
+    # The written series file is itself a valid CLI input, rendered
+    # standalone in both formats.
+    assert main([str(series_path), "--series"]) == 0
+    assert "series: 3 samples" in capsys.readouterr().out
+    import json
+
+    assert main([str(series_path), "--series", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert list(payload) == ["series"]
+    assert payload["series"]["columns"] == ["queue", "router.completed"]
+
+
+def test_cli_output_writes_file_and_keeps_exit_code(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    write_jsonl(str(trace), _failover_events())
+    target = tmp_path / "deep" / "dir" / "report.txt"
+    assert main([str(trace), str("--output"), str(target)]) == 0
+    assert capsys.readouterr().out == ""
+    assert "failover timeline" in target.read_text() or target.read_text()
+
+    # Audit violations still fail the exit code when writing to a file.
+    events = _failover_events()
+    events.append(TraceEvent(3_000.0, "router", "txn.complete",
+                             attrs={"shard": 1, "latency_us": 5.0}))
+    bad = tmp_path / "bad.jsonl"
+    write_jsonl(str(bad), events)
+    bad_target = tmp_path / "bad.txt"
+    assert main([str(bad), "--audit", "--output", str(bad_target)]) == 1
+    assert "downtime-completion" in bad_target.read_text()
+
+
+def test_cli_series_out_requires_series(tmp_path, capsys):
+    import pytest
+
+    trace = tmp_path / "trace.jsonl"
+    write_jsonl(str(trace), _failover_events())
+    with pytest.raises(SystemExit):
+        main([str(trace), "--series-out", "x.jsonl"])
+    capsys.readouterr()
