@@ -128,6 +128,59 @@ def bench_diff() -> dict:
     return report
 
 
+# -- write-buffer drain -----------------------------------------------------
+
+
+def _time_wbuf(model_cls, stores, repeats) -> "tuple":
+    packets = 0
+    started = time.perf_counter()
+    for _ in range(repeats):
+        model = model_cls(6, 64)
+        model.write_batch(stores)
+        model.barrier()
+        packets = model.packets_emitted
+    return time.perf_counter() - started, packets
+
+
+def bench_wbuf() -> dict:
+    """Store-schedule drain: the vectorized write-buffer model versus
+    the reference, through the same ``write_batch`` entry point."""
+    from repro.hardware.writebuffer import (
+        VectorWriteBufferModel,
+        WriteBufferModel,
+    )
+
+    # Contiguous redo-drain shape (the log applier's bulk stream):
+    # block-aligned 64-byte stores marching through 256 KiB — the
+    # run-coalescing + full-block fast path.
+    contig = [(i * 64, 64) for i in range(4096)]
+    # Scattered commit-record shape: strided partial stores hashing
+    # across a 1 MiB window, no two coalescible.
+    scatter = [((i * 2654435761) % (1 << 20), 24) for i in range(4096)]
+
+    report = {}
+    for label, stores, repeats in (("contig", contig, 20),
+                                   ("scatter", scatter, 20)):
+        ref_sizes, vec_sizes = [], []
+        ref = WriteBufferModel(6, 64, on_packet=ref_sizes.append)
+        vec = VectorWriteBufferModel(6, 64, on_packet=vec_sizes.append)
+        ref.write_batch(stores); ref.barrier()
+        vec.write_batch(stores); vec.barrier()
+        assert vec_sizes == ref_sizes and vec.histogram == ref.histogram
+        slow_s, slow_packets = _time_wbuf(WriteBufferModel, stores, repeats)
+        fast_s, fast_packets = _time_wbuf(
+            VectorWriteBufferModel, stores, repeats)
+        assert slow_packets == fast_packets
+        stores_total = len(stores) * repeats
+        report[label] = {
+            "packets": fast_packets,
+            "reference_stores_per_s": round(stores_total / slow_s, 0),
+            "kernel_stores_per_s": round(stores_total / fast_s, 0),
+            "speedup": round(slow_s / fast_s, 2),
+        }
+    return report
+
+
 # -- end-to-end grid --------------------------------------------------------
 
 
@@ -184,6 +237,8 @@ GATES = {
     "events.wheel_speedup": "higher",
     "diff.sparse.speedup": "higher",
     "diff.dense.speedup": "higher",
+    "wbuf.contig.speedup": "higher",
+    "wbuf.scatter.speedup": "higher",
     "grid.speedup_vs_pr4": "higher",
 }
 
@@ -198,6 +253,12 @@ UNITS = {
     "diff.sparse.reference_mb_per_s": "MB/s",
     "diff.dense.kernel_mb_per_s": "MB/s",
     "diff.dense.reference_mb_per_s": "MB/s",
+    "wbuf.contig.speedup": "x",
+    "wbuf.scatter.speedup": "x",
+    "wbuf.contig.reference_stores_per_s": "st/s",
+    "wbuf.contig.kernel_stores_per_s": "st/s",
+    "wbuf.scatter.reference_stores_per_s": "st/s",
+    "wbuf.scatter.kernel_stores_per_s": "st/s",
     "grid.reference_s": "s",
     "grid.kernels_s": "s",
     "grid.speedup": "x",
@@ -227,6 +288,7 @@ def main(argv=None) -> int:
     report = {
         "events": bench_events(),
         "diff": bench_diff(),
+        "wbuf": bench_wbuf(),
     }
     events = report["events"]
     print(
@@ -239,6 +301,13 @@ def main(argv=None) -> int:
         print(
             f"[diff:{label}] {diff['reference_mb_per_s']} -> "
             f"{diff['kernel_mb_per_s']} MB/s ({diff['speedup']}x)"
+        )
+    for label in ("contig", "scatter"):
+        wbuf = report["wbuf"][label]
+        print(
+            f"[wbuf:{label}] {wbuf['reference_stores_per_s']:.0f} -> "
+            f"{wbuf['kernel_stores_per_s']:.0f} stores/s "
+            f"({wbuf['speedup']}x)"
         )
     if not args.skip_grid:
         report["grid"] = bench_grid(args.transactions)

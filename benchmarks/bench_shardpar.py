@@ -1,0 +1,165 @@
+"""Wall-clock benchmark of the parallel per-shard simulation executor.
+
+Replays one recorded failover schedule — an 8-pair sharded cluster
+under a fixed round-robin load with one mid-run primary crash — through
+both :mod:`repro.fastpath.shardpar` executors and writes the result to
+``BENCH_shardpar.json``:
+
+* **sequential** — the reference: the whole cluster on one simulator.
+* **parallel** — the per-shard domain decomposition across worker
+  processes, merged deterministically.
+
+The benchmark *asserts* the two runs are identical (trace event list,
+sampled series bytes, router totals, takeover reports) before timing
+anything: the speedup is only meaningful because the output is
+byte-for-byte the same. The plan is scaled past the experiment's
+defaults (more slots, more load) so per-domain work amortizes the
+process-pool startup; on the 1-core container class the parallel leg
+measures pure overhead, which is itself worth tracking.
+
+Usage::
+
+    python benchmarks/bench_shardpar.py                    # measure
+    python benchmarks/bench_shardpar.py --check BENCH_shardpar.json
+
+Reports use the canonical ``repro-bench-v1`` trajectory format;
+``--check BASELINE`` gates ``output_identical`` (and, with 4+ cores,
+requires the parallel leg to clear 1.5x) — the CI guard against the
+decomposition quietly drifting from the sequential truth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from _common import REPO, finalize, flatten_metrics
+
+#: The replayed schedule: 8 pairs, a long slot grid, one crash.
+NUM_SHARDS = 8
+SLOTS = 160
+OFFERED_PER_SHARD = 4
+CRASH_AT_US = 40_250.0
+CRASHED_SHARD = 2
+
+#: Parallel legs only make sense up to the shard count.
+DEFAULT_JOBS = min(NUM_SHARDS, os.cpu_count() or 1)
+
+#: Cores at which the acceptance speedup becomes a hard requirement.
+SPEEDUP_CORES = 4
+SPEEDUP_FLOOR = 1.5
+
+
+def _build_plan():
+    from repro.experiments.extension_sharding import failover_plan
+
+    return failover_plan(
+        num_shards=NUM_SHARDS,
+        slots=SLOTS,
+        offered_per_shard=OFFERED_PER_SHARD,
+        crash_at_us=CRASH_AT_US,
+        crashed_shard=CRASHED_SHARD,
+    )
+
+
+def bench_shardpar(jobs: int) -> dict:
+    from repro.fastpath.shardpar import (
+        _execute_sequential,
+        execute_decomposed,
+    )
+    from repro.obs.observer import Observer
+
+    plan = _build_plan()
+
+    started = time.perf_counter()
+    sequential = _execute_sequential(plan, Observer())
+    sequential_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = execute_decomposed(plan, jobs=jobs)
+    parallel_s = time.perf_counter() - started
+
+    identical = (
+        parallel.events == sequential.events
+        and parallel.frame.to_bytes() == sequential.frame.to_bytes()
+        and (parallel.routed, parallel.completed, parallel.dropped)
+        == (sequential.routed, sequential.completed, sequential.dropped)
+        and parallel.takeover_downtime_us == sequential.takeover_downtime_us
+    )
+    return {
+        "shards": NUM_SHARDS,
+        "slots": SLOTS,
+        "jobs": jobs,
+        "cores": os.cpu_count() or 1,
+        "events": len(sequential.events),
+        "transactions": sequential.routed,
+        "sequential_s": round(sequential_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(sequential_s / parallel_s, 3),
+        "output_identical": identical,
+    }
+
+
+#: Regression-gated metrics. The identity bit is the load-bearing one:
+#: it can never legitimately regress. The speedup is informational in
+#: the report (core counts vary across machines) and enforced directly
+#: below when enough cores are present.
+GATES = {
+    "shardpar.output_identical": "higher",
+}
+
+UNITS = {
+    "shardpar.sequential_s": "s",
+    "shardpar.parallel_s": "s",
+    "shardpar.speedup": "x",
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=DEFAULT_JOBS,
+        help=f"worker processes for the parallel leg "
+        f"(default min(shards, cores) = {DEFAULT_JOBS})",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO / "BENCH_shardpar.json"),
+        help="where to write the measured report (default: repo root)",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare gated metrics against a committed baseline JSON",
+    )
+    args = parser.parse_args(argv)
+
+    report = {"shardpar": bench_shardpar(args.jobs)}
+    shardpar = report["shardpar"]
+    print(
+        f"[shardpar] {shardpar['shards']} shards x {shardpar['slots']} "
+        f"slots: sequential {shardpar['sequential_s']}s -> parallel "
+        f"{shardpar['parallel_s']}s at --shard-jobs {shardpar['jobs']} "
+        f"({shardpar['speedup']}x on {shardpar['cores']} core(s))"
+    )
+    if not shardpar["output_identical"]:
+        print("FAIL: parallel outcome differs from the sequential run")
+        finalize("shardpar", flatten_metrics(report, GATES, UNITS),
+                 args.output)
+        return 1
+    print("[shardpar] parallel output is byte-identical to sequential")
+    if (shardpar["cores"] >= SPEEDUP_CORES
+            and shardpar["speedup"] < SPEEDUP_FLOOR):
+        print(
+            f"FAIL: {shardpar['cores']} cores available but the parallel "
+            f"leg managed only {shardpar['speedup']}x (< {SPEEDUP_FLOOR}x)"
+        )
+        finalize("shardpar", flatten_metrics(report, GATES, UNITS),
+                 args.output)
+        return 1
+    return finalize("shardpar", flatten_metrics(report, GATES, UNITS),
+                    args.output, check_path=args.check)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,10 @@ class ExperimentSettings:
     allocated_db_bytes: int = 8 * MB
     log_bytes: int = 2 * MB
     nominal_db_bytes: int = PAPER_DB_BYTES
+    #: Worker processes for the per-shard parallel simulation executor
+    #: (:mod:`repro.fastpath.shardpar`); 1 = the sequential reference.
+    #: Outputs are byte-identical at any value.
+    shard_jobs: int = 1
 
     def engine_config(self, nominal: Optional[int] = None) -> EngineConfig:
         return EngineConfig(
@@ -180,9 +184,9 @@ def _disable_coalescing(interface) -> None:
     """Ablation hook: make every I/O-space store its own packet by
     shrinking the write buffers to one 4-byte slot (models a network
     interface with no write-combining)."""
-    from repro.hardware.writebuffer import WriteBufferModel
+    from repro.hardware.writebuffer import writebuffer_model
 
-    interface.write_buffer = WriteBufferModel(
+    interface.write_buffer = writebuffer_model(
         num_buffers=1, block_bytes=4, on_packet=interface.record_packet
     )
 

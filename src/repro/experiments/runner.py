@@ -237,6 +237,12 @@ def main(argv=None) -> int:
         "(output stays byte-identical; default 1 = sequential)",
     )
     parser.add_argument(
+        "--shard-jobs", type=int, default=1, metavar="N",
+        help="run the sharded failover simulation as N per-shard "
+        "processes merged deterministically (output stays "
+        "byte-identical; default 1 = one simulator)",
+    )
+    parser.add_argument(
         "--no-fastpath", action="store_true",
         help="disable the batched store pipeline and replay cache; "
         "the reference path for golden-output comparison",
@@ -283,7 +289,10 @@ def main(argv=None) -> int:
         if key not in resolved:
             resolved.append(key)
 
-    settings = ExperimentSettings(transactions=args.transactions, seed=args.seed)
+    settings = ExperimentSettings(
+        transactions=args.transactions, seed=args.seed,
+        shard_jobs=args.shard_jobs,
+    )
     ctx = ExperimentContext(settings)
 
     def run_grid() -> None:

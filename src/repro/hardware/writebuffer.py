@@ -218,6 +218,229 @@ class WriteBufferModel:
         self._histogram.clear()
 
 
+class VectorWriteBufferModel:
+    """Fast-path twin of :class:`WriteBufferModel`.
+
+    Byte-identical packet sequences and statistics on every store
+    schedule — the Hypothesis suite drives both models with random
+    schedules and asserts the emitted packet streams match — but the
+    bookkeeping is flat: open buffers are bare ``int`` bitmasks in a
+    plain insertion-ordered dict (no per-buffer object allocation, no
+    attribute chasing), and multi-block stores drain their interior
+    full blocks with run-length arithmetic instead of a per-block
+    Python loop. Contiguous streams (the Version 3 log discipline that
+    motivates the model) touch the dict at most twice per store — the
+    partial head and tail — no matter how many blocks they span.
+
+    Equivalence notes, mirrored in the fallbacks below:
+
+    * A store is split into head/interior/tail per block in address
+      order, exactly the reference loop's order.
+    * The interior bulk path only fires when no interior block is
+      already open; then the reference would evict at most one oldest
+      buffer (for the first interior block, if at capacity) and emit
+      one full packet per block — pure arithmetic here. Any overlap
+      falls back to the per-block path, which is the reference
+      algorithm on int masks.
+    * :meth:`write_batch` coalesces adjacent stores only when they
+      meet on a block boundary, so the per-block sub-span sequence —
+      and therefore every displacement and drain — is preserved
+      exactly.
+    """
+
+    def __init__(
+        self,
+        num_buffers: int = 6,
+        block_bytes: int = BLOCK_BYTES_DEFAULT,
+        on_packet: Optional[Callable[[int], None]] = None,
+    ):
+        if num_buffers < 1:
+            raise ValueError("need at least one write buffer")
+        if block_bytes < 1 or block_bytes & (block_bytes - 1):
+            raise ValueError("block size must be a positive power of two")
+        self.num_buffers = num_buffers
+        self.block_bytes = block_bytes
+        self.on_packet = on_packet
+        self._open: dict = {}  # block -> written bitmask (insertion = FIFO)
+        self.packets_emitted = 0
+        self.bytes_emitted = 0
+        self._histogram: Counter = Counter()
+        self._full_mask = (1 << block_bytes) - 1
+
+    # -- store stream ---------------------------------------------------
+
+    def write(self, address: int, length: int) -> None:
+        """Record a store of ``length`` bytes at ``address``."""
+        if length > 0:
+            self._write_run(address, address + length)
+
+    def write_batch(self, stores: Iterable[Tuple[int, int]]) -> None:
+        """Record a whole batch of (address, length) stores.
+
+        Adjacent stores that meet exactly on a block boundary are
+        coalesced into one run before draining — the junction being
+        block-aligned means the merged run splits into the very same
+        per-block sub-spans the stores would produce individually, so
+        the packet stream is untouched.
+        """
+        block_mask = self.block_bytes - 1
+        run_start = 0
+        run_end = -1  # sentinel: no open run
+        for address, length in stores:
+            if length <= 0:
+                continue
+            if address == run_end and address & block_mask == 0:
+                run_end = address + length
+                continue
+            if run_end >= 0:
+                self._write_run(run_start, run_end)
+            run_start = address
+            run_end = address + length
+        if run_end >= 0:
+            self._write_run(run_start, run_end)
+
+    def _write_run(self, start: int, end: int) -> None:
+        """Drain the contiguous byte run [start, end), start < end."""
+        block_bytes = self.block_bytes
+        first = start // block_bytes
+        last = (end - 1) // block_bytes
+        if first == last:
+            base = first * block_bytes
+            self._store(first, start - base, end - base)
+            return
+        head_lo = start - first * block_bytes
+        if head_lo:
+            self._store(first, head_lo, block_bytes)
+            first += 1
+        tail_hi = end - last * block_bytes
+        interior_end = last + 1 if tail_hi == block_bytes else last
+        if interior_end > first:
+            self._store_full_blocks(first, interior_end)
+        if tail_hi != block_bytes:
+            self._store(last, 0, tail_hi)
+
+    def _store(self, block: int, lo: int, hi: int) -> None:
+        """Reference `_write_block` on a bare bitmask."""
+        open_ = self._open
+        span = ((1 << (hi - lo)) - 1) << lo
+        mask = open_.get(block)
+        if mask is None:
+            if len(open_) >= self.num_buffers:
+                # FIFO displacement: drain the oldest open buffer.
+                oldest = next(iter(open_))
+                self._emit_size(_popcount(open_.pop(oldest)))
+            if span == self._full_mask:
+                self._emit_size(self.block_bytes)
+            else:
+                open_[block] = span
+            return
+        mask |= span
+        if mask == self._full_mask:
+            del open_[block]
+            self._emit_size(self.block_bytes)
+        else:
+            open_[block] = mask
+
+    def _store_full_blocks(self, first: int, last: int) -> None:
+        """Drain the fully-covered blocks [first, last) in one step."""
+        open_ = self._open
+        for block in open_:
+            if first <= block < last:
+                # An interior block is already partially open: the
+                # displacement pattern depends on its position, so
+                # take the exact per-block path.
+                full = self.block_bytes
+                for b in range(first, last):
+                    self._store(b, 0, full)
+                return
+        count = last - first
+        if open_ and len(open_) >= self.num_buffers:
+            # Only the first insertion can displace: every block in
+            # the run drains immediately, so occupancy never grows.
+            oldest = next(iter(open_))
+            self._emit_size(_popcount(open_.pop(oldest)))
+        size = self.block_bytes
+        self.packets_emitted += count
+        self.bytes_emitted += count * size
+        self._histogram[size] += count
+        callback = self.on_packet
+        if callback is not None:
+            for _ in range(count):
+                callback(size)
+
+    def barrier(self) -> None:
+        """Flush all open buffers (a memory barrier / commit point)."""
+        open_ = self._open
+        if not open_:
+            return
+        for mask in open_.values():  # insertion order == FIFO
+            self._emit_size(_popcount(mask))
+        open_.clear()
+
+    def _emit_size(self, size: int) -> None:
+        if size == 0:
+            return
+        self.packets_emitted += 1
+        self.bytes_emitted += size
+        self._histogram[size] += 1
+        if self.on_packet is not None:
+            self.on_packet(size)
+
+    def account_replayed(self, sizes: Iterable[int], total_bytes: int) -> None:
+        """Credit packets produced by a replay-cache hit (see
+        :meth:`WriteBufferModel.account_replayed`)."""
+        sizes = tuple(sizes)
+        self.packets_emitted += len(sizes)
+        self.bytes_emitted += total_bytes
+        self._histogram.update(sizes)
+        if self.on_packet is not None:
+            for size in sizes:
+                self.on_packet(size)
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def open_buffers(self) -> int:
+        """How many write buffers currently hold undrained stores."""
+        return len(self._open)
+
+    @property
+    def histogram(self) -> dict:
+        """Mapping of packet size (bytes) -> count of packets emitted."""
+        return dict(self._histogram)
+
+    def mean_packet_bytes(self) -> float:
+        if not self.packets_emitted:
+            return 0.0
+        return self.bytes_emitted / self.packets_emitted
+
+    def reset(self) -> None:
+        """Drop open buffers and statistics."""
+        self._open.clear()
+        self.packets_emitted = 0
+        self.bytes_emitted = 0
+        self._histogram.clear()
+
+
+def writebuffer_model(
+    num_buffers: int = 6,
+    block_bytes: int = BLOCK_BYTES_DEFAULT,
+    on_packet: Optional[Callable[[int], None]] = None,
+):
+    """The write-buffer model for a new interface.
+
+    Selects the flat-bookkeeping :class:`VectorWriteBufferModel` under
+    the fast path and the reference :class:`WriteBufferModel` under
+    ``REPRO_FASTPATH=0`` / ``--no-fastpath`` — same packet stream
+    either way, per the fastpath byte-identity discipline.
+    """
+    import repro.fastpath
+
+    if repro.fastpath.enabled():
+        return VectorWriteBufferModel(num_buffers, block_bytes, on_packet)
+    return WriteBufferModel(num_buffers, block_bytes, on_packet)
+
+
 def packets_for_stores(
     stores: Iterable[Tuple[int, int]],
     num_buffers: int = 6,

@@ -171,8 +171,19 @@ class MemoryRegion:
         length = len(data)
         if length == 0:
             return
-        self._check_bounds(offset, length)
-        self._check_protection(offset, length)
+        # Fused precondition: the common case (healthy, unprotected
+        # region, in-bounds store) clears every check with one branch.
+        # length >= 1 here, so the negative-length clause of
+        # _check_bounds cannot fire and the fallthrough raises the
+        # exact same exception the two-call reference sequence would.
+        if (
+            self._crashed
+            or self._protected
+            or offset < 0
+            or offset + length > self.size
+        ):
+            self._check_bounds(offset, length)
+            self._check_protection(offset, length)
         self.data[offset : offset + length] = data
         self.writes_observed += 1
         self.bytes_written += length

@@ -27,7 +27,7 @@ from repro import fastpath as _fastpath
 from repro.errors import CrashedError, NotMappedError
 from repro.fastpath.replay import GLOBAL_REPLAY_CACHE
 from repro.hardware.specs import SanSpec, MEMORY_CHANNEL_II
-from repro.hardware.writebuffer import WriteBufferModel
+from repro.hardware.writebuffer import writebuffer_model
 from repro.memory.region import MemoryRegion, WriteCategory
 from repro.obs.observer import resolve_observer
 from repro.san.packets import PacketTrace
@@ -151,7 +151,7 @@ class MemoryChannelInterface:
         self._trace = PacketTrace()
         self.observer = resolve_observer(observer)
         self._metric_prefix = f"san.{node_name}"
-        self.write_buffer = WriteBufferModel(
+        self.write_buffer = writebuffer_model(
             num_buffers=write_buffers,
             block_bytes=write_buffer_bytes,
             on_packet=self.record_packet,

@@ -1,0 +1,192 @@
+"""Property-based equivalence tests for the parallel shard executor.
+
+Two claims carry :mod:`repro.fastpath.shardpar`:
+
+* executing a :class:`TimelinePlan` as per-shard domains and merging
+  deterministically produces *exactly* the sequential run — the same
+  trace event list in the same order, the same sampled series bytes,
+  the same router totals and takeover reports — for any router
+  schedule and crash plan the decomposition admits, and
+* :class:`VectorWriteBufferModel` is observably identical to the
+  reference :class:`WriteBufferModel` on any store schedule.
+
+Both are driven with randomized inputs. The plan equivalence runs the
+domains inline (``jobs=1`` through the same decomposition+merge code
+path the process pool uses) so Hypothesis shrinking stays fast and
+in-process; one non-property test exercises a real two-process pool.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fastpath.shardpar import (
+    TimelinePlan,
+    _execute_sequential,
+    execute_decomposed,
+    plan_supports_parallel,
+)
+from repro.hardware.writebuffer import VectorWriteBufferModel, WriteBufferModel
+from repro.obs.observer import Observer
+
+MB = 1024 * 1024
+DB_BYTES = 4 * MB  # Debit-Credit's floor is >2 MB per shard
+HORIZON_US = 24_000.0
+
+# -- plan strategy ---------------------------------------------------
+#
+# Times are multiples of 50 us so submissions, crashes and sampler
+# ticks collide on shared timestamps often — exactly the orderings the
+# (time, seq) merge template must reproduce.
+
+_submissions = st.lists(
+    st.tuples(
+        st.integers(0, 200),   # at_us / 50
+        st.integers(0, 2),     # owning shard (3-shard plans; keys == shards
+    ),                         # because each 4 MB shard owns one branch)
+    min_size=0, max_size=25,
+)
+
+_crashes = st.lists(
+    st.tuples(
+        st.integers(0, 2),     # crashed shard
+        st.integers(2, 300),   # at_us / 50 (>= first heartbeat)
+    ),
+    min_size=0, max_size=1,    # one crash per plan: the decomposition rule
+)
+
+
+def _plan(submissions, crashes, seed: int) -> TimelinePlan:
+    return TimelinePlan(
+        num_shards=3,
+        mode="passive",
+        version="v1",
+        db_bytes_per_shard=DB_BYTES,
+        log_bytes=128 * 1024,
+        heartbeat_interval_us=100.0,
+        heartbeat_timeout_us=500.0,
+        restore_bytes_per_us=300.0,
+        workload="debit-credit",
+        seed=seed,
+        max_attempts=6,
+        sample_interval_us=500.0,
+        sample_until_us=HORIZON_US,
+        horizon_us=HORIZON_US,
+        submissions=tuple(
+            (slot * 50.0, key) for slot, key in sorted(submissions)
+        ),
+        crashes=tuple((shard, slot * 50.0) for shard, slot in crashes),
+    )
+
+
+def _assert_identical(plan: TimelinePlan, jobs: int = 1) -> None:
+    seq = _execute_sequential(plan, Observer())
+    par = execute_decomposed(plan, jobs=jobs)
+    assert par.events == seq.events
+    assert par.frame.to_bytes() == seq.frame.to_bytes()
+    assert (par.routed, par.completed, par.dropped) == (
+        seq.routed, seq.completed, seq.dropped,
+    )
+    assert par.takeover_downtime_us == seq.takeover_downtime_us
+
+
+@settings(max_examples=12, deadline=None)
+@given(submissions=_submissions, crashes=_crashes, seed=st.integers(0, 2**16))
+def test_decomposed_equals_sequential(submissions, crashes, seed):
+    """Random router schedules + crash plans: the per-shard domains
+    merge into the sequential run's exact event order and outputs."""
+    plan = _plan(submissions, crashes, seed)
+    assert plan_supports_parallel(plan)
+    _assert_identical(plan)
+
+
+def test_decomposed_equals_sequential_across_processes():
+    """Same equivalence through a real two-process pool (pickling the
+    plan out and the domain recordings back)."""
+    submissions = [(slot, slot % 3) for slot in range(0, 60, 4)]
+    plan = _plan(submissions, [(1, 40)], seed=42)
+    _assert_identical(plan, jobs=2)
+
+
+def test_multi_crash_plan_is_not_decomposable():
+    """A second failover couples shards through the router's full-map
+    snapshot refresh (one shard's redirect can suppress another's);
+    the guard must route such plans to the sequential executor."""
+    plan = _plan([(0, 0)], [(0, 20)], seed=1)
+    coupled = TimelinePlan(
+        **{**plan.__dict__, "crashes": ((1, 1000.0), (2, 9000.0))}
+    )
+    assert not plan_supports_parallel(coupled)
+    assert plan_supports_parallel(plan)
+
+
+# -- write-buffer model equivalence ----------------------------------
+
+_geometries = st.tuples(
+    st.integers(1, 8),                    # num_buffers
+    st.sampled_from((4, 8, 16, 32, 64)),  # block_bytes
+)
+
+#: A schedule interleaving stores with barriers: True = barrier.
+_wb_schedule = st.lists(
+    st.one_of(
+        st.tuples(st.integers(0, 4096), st.integers(1, 300)),
+        st.just(True),
+    ),
+    min_size=0, max_size=60,
+)
+
+
+def _drive(model, ops, batched: bool):
+    batch = []
+    for op in ops:
+        if op is True:
+            if batched and batch:
+                model.write_batch(batch)
+                batch.clear()
+            model.barrier()
+        elif batched:
+            batch.append(op)
+        else:
+            model.write(*op)
+    if batched and batch:
+        model.write_batch(batch)
+    model.barrier()
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=_wb_schedule, geometry=_geometries)
+def test_vector_model_matches_reference(ops, geometry):
+    """Store-for-store: the vectorized model emits the same packet
+    sequence, histogram and open-buffer state as the reference."""
+    num_buffers, block_bytes = geometry
+    ref_sizes, vec_sizes = [], []
+    ref = WriteBufferModel(num_buffers, block_bytes, on_packet=ref_sizes.append)
+    vec = VectorWriteBufferModel(
+        num_buffers, block_bytes, on_packet=vec_sizes.append
+    )
+    _drive(ref, ops, batched=False)
+    _drive(vec, ops, batched=False)
+    assert vec_sizes == ref_sizes
+    assert vec.histogram == ref.histogram
+    assert vec.packets_emitted == ref.packets_emitted
+    assert vec.bytes_emitted == ref.bytes_emitted
+    assert vec.open_buffers == ref.open_buffers
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=_wb_schedule, geometry=_geometries)
+def test_vector_batch_matches_reference_per_store(ops, geometry):
+    """The vectorized batch entry point (run-coalescing drain) against
+    the reference driven one store at a time."""
+    num_buffers, block_bytes = geometry
+    ref_sizes, vec_sizes = [], []
+    ref = WriteBufferModel(num_buffers, block_bytes, on_packet=ref_sizes.append)
+    vec = VectorWriteBufferModel(
+        num_buffers, block_bytes, on_packet=vec_sizes.append
+    )
+    _drive(ref, ops, batched=False)
+    _drive(vec, ops, batched=True)
+    assert vec_sizes == ref_sizes
+    assert vec.histogram == ref.histogram
+    assert vec.open_buffers == ref.open_buffers
