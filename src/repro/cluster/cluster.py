@@ -19,6 +19,14 @@ from repro.cluster.membership import HeartbeatMonitor, Membership
 from repro.cluster.node import Node
 from repro.errors import ConfigurationError, FailoverError
 from repro.obs.observer import resolve_observer
+from repro.obs.recovery import (
+    PHASE_CATCHUP,
+    PHASE_DETECT,
+    PHASE_PROMOTE,
+    PHASE_VIEW,
+    RecoverySpanRecorder,
+)
+from repro.obs.spans import PhaseCostModel
 from repro.replication.active import ActiveReplicatedSystem
 from repro.replication.passive import PassiveReplicatedSystem
 from repro.sim.engine import Simulator
@@ -120,6 +128,9 @@ class ReplicatedCluster:
         self.system.sync_initial()
 
         self.takeover: Optional[TakeoverReport] = None
+        #: Causal handle of the last emitted recovery span, consumed by
+        #: the router's first post-failover completion (resume link).
+        self.last_recovery_link = None
         self._crash_at_us: Optional[float] = None
         self._serving = self.system
         self.monitor = HeartbeatMonitor(
@@ -180,6 +191,15 @@ class ReplicatedCluster:
             raise FailoverError("failure detected without a crash (bug)")
         detected = self.sim.now
         self.membership.fail(self.primary_node.name)
+        # Active failover drains the redo ring inside failover(); bracket
+        # the applier counters so the drain cost can be priced for the
+        # recovery span (pure reads — no model state changes).
+        applier = getattr(self.system, "applier", None)
+        drain_before = (
+            (applier.records_applied, applier.bytes_applied)
+            if self.observer.enabled and applier is not None
+            else None
+        )
         engine = self.system.failover()
         restored = engine.counters.rollback_bytes
         takeover_us = restored / self.restore_bytes_per_us
@@ -210,6 +230,42 @@ class ReplicatedCluster:
                 self.observer.registry,
                 self.observer.metric_name("cluster.takeover.engine"),
             )
+            # The causal recovery tree: children tile [crash, restored]
+            # exactly. A pair's view change and promotion fire at the
+            # detection instant (zero-width, skipped on emission); an
+            # active pair replays the ring during detection, so its
+            # catchup is zero-width too and the measured drain cost
+            # rides on the root attrs instead.
+            recorder = RecoverySpanRecorder(self.observer, "cluster")
+            recorder.phase(
+                PHASE_DETECT, self._crash_at_us, detected,
+                heartbeat_interval_us=self.monitor.interval_us,
+                heartbeat_timeout_us=self.monitor.timeout_us,
+            )
+            recorder.phase(PHASE_VIEW, detected, detected)
+            recorder.phase(PHASE_PROMOTE, detected, detected)
+            recorder.phase(
+                PHASE_CATCHUP, detected,
+                self.takeover.service_restored_at_us,
+                bytes_restored=restored,
+                restore_bytes_per_us=self.restore_bytes_per_us,
+            )
+            root_attrs = {
+                "node": self.primary_node.name,
+                "new_primary": self.backup_node.name,
+                "mode": self.mode,
+            }
+            if drain_before is not None:
+                drain_records = applier.records_applied - drain_before[0]
+                drain_bytes = applier.bytes_applied - drain_before[1]
+                root_attrs.update(
+                    drain_records=drain_records,
+                    drain_bytes=drain_bytes,
+                    drain_cost_us=PhaseCostModel(self.system.san).apply_us(
+                        drain_records, drain_bytes
+                    ),
+                )
+            self.last_recovery_link = recorder.finish(**root_attrs)
         if self.on_failover is not None:
             self.on_failover(self)
 

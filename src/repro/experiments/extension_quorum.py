@@ -421,7 +421,6 @@ class QuorumResult:
         for group in range(n):
             scope = by_scope[f"group.{group}"]
             if group == timeline.downed_group:
-                assert abs(scope.downtime_us - loss.downtime_us) < 1e-6
                 assert scope.failovers == 1
                 assert scope.availability < 1.0
             else:
@@ -434,6 +433,48 @@ class QuorumResult:
         filtered = timeline.slo(scopes=[f"group.{timeline.downed_group}"])
         assert len(filtered.scopes) == 1
         assert filtered.scopes[0].scope == f"group.{timeline.downed_group}"
+
+        # -- recovery decomposition -------------------------------------
+        # SLO downtime and the recovery-span roots must tell one story,
+        # scope by scope, window by window (this replaces the ad-hoc
+        # downtime arithmetic the experiments used to duplicate).
+        from repro.obs.critpath import crosscheck_recovery_slo
+
+        decomposition = crosscheck_recovery_slo(timeline.trace_events, slo)
+        downed_scope = decomposition.scope(f"group.{timeline.downed_group}")
+        assert downed_scope.recoveries == 1
+        assert abs(
+            downed_scope.total_downtime_us - loss.downtime_us
+        ) <= 1e-6
+        # A quorum loss is a membership problem by construction: the
+        # whole outage is the view phase (no reachable quorum), with
+        # zero-width detection and instantaneous hint delivery.
+        assert downed_scope.dominant_phase == "view"
+        assert downed_scope.share("view") == 1.0
+        # The resume instant links into the first post-outage commit's
+        # span tree (quorum groups record commit spans while serving).
+        assert downed_scope.resume_gaps == 1
+        tree = decomposition.trees[0]
+        assert tree.resume_gap_us is not None and tree.resume_gap_us >= 0.0
+        assert tree.resume_commit_trace_id is not None
+
+        # -- alerts -----------------------------------------------------
+        # The recorded burn-rate alerts are grounded: every fire
+        # justified by real downtime, none missed, and only the downed
+        # group's scope ever pages.
+        verification = timeline.alerts()
+        assert verification.ok, verification.render()
+        fires = [
+            e for e in timeline.trace_events if e.name == "alert.fire"
+        ]
+        assert fires, "the quorum-loss window must trip the fast-burn rule"
+        assert {
+            str(e.attrs["scope"]) for e in fires
+        } == {f"group.{timeline.downed_group}"}
+        resolves = [
+            e for e in timeline.trace_events if e.name == "alert.resolve"
+        ]
+        assert len(resolves) == len(fires), "every alert must resolve"
 
         # -- quorum vs pair, equal replica count ------------------------
         comparison = self.comparison
@@ -520,7 +561,13 @@ def quorum_timeline(
         group.replicas_converged() for group in cluster.groups
     )
 
+    # Annotate the trace with the burn-rate alert schedule its own
+    # downtime record justifies (appended post-run; every consumer
+    # selects events by name, none by position).
+    from repro.obs.alerts import evaluate_alerts
+
     events = list(observer.recorder.events)
+    events = events + evaluate_alerts(events)
     report = analyze_timeline(events, window_us=slot_us)
     loss = next(
         s for s in report.failovers

@@ -74,7 +74,10 @@ from repro.sim.events import SHAPE_SHARED, default_event_queue
 from repro.vista.api import EngineConfig
 
 #: Trace attrs carrying causal-trace ids that the merge renumbers.
-_ID_ATTRS = ("trace_id", "span_id", "parent_id")
+#: ``commit_trace_id`` (the resume instant's link into the first
+#: post-failover commit tree) references an id allocated in the same
+#: domain's fired events, so the per-domain id map always covers it.
+_ID_ATTRS = ("trace_id", "span_id", "parent_id", "commit_trace_id")
 
 _TICK = 0
 _EVENT = 1

@@ -85,6 +85,30 @@ _LAZY_EXPORTS = {
     "profile": "repro.obs.prof",
     "compare_reports": "repro.obs.bench",
     "load_bench_report": "repro.obs.bench",
+    "RECOVERY_PHASES": "repro.obs.recovery",
+    "RecoveryLink": "repro.obs.recovery",
+    "RecoverySpanRecorder": "repro.obs.recovery",
+    "RecoveryTree": "repro.obs.recovery",
+    "collect_recoveries": "repro.obs.recovery",
+    "RecoveryDecomposition": "repro.obs.critpath",
+    "ScopeDecomposition": "repro.obs.critpath",
+    "SpanNode": "repro.obs.critpath",
+    "collect_span_forest": "repro.obs.critpath",
+    "critical_path": "repro.obs.critpath",
+    "critical_path_us": "repro.obs.critpath",
+    "crosscheck_recovery_slo": "repro.obs.critpath",
+    "decompose_recoveries": "repro.obs.critpath",
+    "recovery_forest": "repro.obs.critpath",
+    "TraceDiff": "repro.obs.diff",
+    "canonicalize_events": "repro.obs.diff",
+    "diff_events": "repro.obs.diff",
+    "diff_files": "repro.obs.diff",
+    "diff_series": "repro.obs.diff",
+    "AlertVerification": "repro.obs.alerts",
+    "BurnRateRule": "repro.obs.alerts",
+    "DEFAULT_RULES": "repro.obs.alerts",
+    "evaluate_alerts": "repro.obs.alerts",
+    "verify_alerts": "repro.obs.alerts",
 }
 
 
@@ -98,12 +122,15 @@ def __getattr__(name):
 
 
 __all__ = [
+    "AlertVerification",
     "AuditReport",
+    "BurnRateRule",
     "COMMIT_PHASES",
     "CommitSpanRecorder",
     "CommitSpanTree",
     "Counter",
     "DEFAULT_BOUNDS",
+    "DEFAULT_RULES",
     "DipSummary",
     "FailoverSpan",
     "Gauge",
@@ -118,15 +145,23 @@ __all__ = [
     "Observer",
     "PhaseAttribution",
     "ProfileReport",
+    "RECOVERY_PHASES",
+    "RecoveryDecomposition",
+    "RecoveryLink",
+    "RecoverySpanRecorder",
+    "RecoveryTree",
     "SERIES_ENV_VAR",
     "ScopeAvailability",
+    "ScopeDecomposition",
     "SeriesFrame",
     "SloReport",
+    "SpanNode",
     "StackSampler",
     "SubsystemTimers",
     "TimeSeriesSampler",
     "TimelineReport",
     "TraceAuditor",
+    "TraceDiff",
     "TraceEvent",
     "TraceRecorder",
     "Violation",
@@ -135,22 +170,35 @@ __all__ = [
     "attribute_commits",
     "audit_events",
     "audit_trace_file",
+    "canonicalize_events",
     "chrome_trace_dict",
     "collect_commit_spans",
+    "collect_recoveries",
+    "collect_span_forest",
     "compare_reports",
     "compute_slo",
+    "critical_path",
+    "critical_path_us",
+    "crosscheck_recovery_slo",
+    "decompose_recoveries",
     "derive_dip",
+    "diff_events",
+    "diff_files",
+    "diff_series",
+    "evaluate_alerts",
     "get_default_observer",
     "load_bench_report",
     "parse_collapsed",
     "profile",
     "read_jsonl",
+    "recovery_forest",
     "reset_default_observer",
     "resolve_observer",
     "select_events",
     "series_interval_us",
     "slo_from_trace_file",
     "snap_tick",
+    "verify_alerts",
     "windowed_goodput",
     "write_chrome_trace",
     "write_jsonl",

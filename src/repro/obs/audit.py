@@ -35,10 +35,22 @@ invariants the paper's protocols promise:
   successive strict reads of one key return vectors that descend
   from what was read before (the read-latest guarantee, re-checked
   offline).
+* **recovery-span-tiles-downtime** — every closed downtime window is
+  matched by exactly one ``recovery.span`` with the same bounds, and
+  that span's ``recovery.phase`` children tile it exactly (contiguous,
+  first at the crash, last at restoration, sum equal to the span
+  within float tolerance). Checked only when the trace records
+  recovery spans at all, so pre-recovery traces stay audit-clean.
+* **alert-grounded** — the recorded ``alert.fire`` / ``alert.resolve``
+  instants must equal the schedule the trace's own downtime windows
+  justify: the auditor replays the burn-rate engine from its downtime
+  bookkeeping and flags every false fire and every missed window.
+  Checked only when the trace records alert events.
 
 The auditor is deliberately stream-friendly: :meth:`TraceAuditor.feed`
-does all per-event work online; only the span-sum reconciliation (and
-any still-open downtime windows) waits for :meth:`TraceAuditor.finish`.
+does all per-event work online; only the span-sum reconciliation, the
+recovery/downtime tiling, the alert replay (and any still-open
+downtime windows) wait for :meth:`TraceAuditor.finish`.
 """
 
 from __future__ import annotations
@@ -49,6 +61,13 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.obs.spans import COMMIT_PHASE, COMMIT_SPAN
 from repro.obs.trace import TraceEvent
 from repro.quorum.versions import VersionVector
+
+#: Imported by name to avoid a hard import cycle (alerts/recovery are
+#: leaf modules, but keep the vocabulary strings local and cheap).
+_RECOVERY_SPAN = "recovery.span"
+_RECOVERY_PHASE = "recovery.phase"
+_ALERT_NAMES = ("alert.fire", "alert.resolve")
+_SAMPLE_EVENT = "series.sample"
 
 #: Relative tolerance of the span-sum check. Phase durations are
 #: accumulated floats, so exact equality is one rounding away from a
@@ -164,6 +183,16 @@ class TraceAuditor:
         # strict read's merged vector per (component, key).
         self._write_counters: Dict[Tuple[str, int, int], int] = {}
         self._read_vvs: Dict[Tuple[str, int], VersionVector] = {}
+        # Recovery-span tiling: root events by span id, their phase
+        # children in stream order, and phases with unknown parents.
+        self._recovery_roots: Dict[int, TraceEvent] = {}
+        self._recovery_children: Dict[int, List[TraceEvent]] = {}
+        self._recovery_orphans: List[TraceEvent] = []
+        # Alert grounding: recorded alert instants plus the evaluation
+        # ticks (sampler instants; crash/takeover edges as fallback).
+        self._alert_events: List[TraceEvent] = []
+        self._sample_ticks: set = set()
+        self._edge_ticks: set = set()
 
     # -- violation plumbing ---------------------------------------------------
 
@@ -209,6 +238,20 @@ class TraceAuditor:
                 self._span_child_sums[parent_id] += event.dur_us
             else:
                 self._orphan_children.append(event)
+        elif name == _RECOVERY_SPAN:
+            span_id = int(event.attrs.get("span_id", 0))
+            self._recovery_roots[span_id] = event
+            self._recovery_children.setdefault(span_id, [])
+        elif name == _RECOVERY_PHASE:
+            parent_id = int(event.attrs.get("parent_id", 0))
+            if parent_id in self._recovery_roots:
+                self._recovery_children[parent_id].append(event)
+            else:
+                self._recovery_orphans.append(event)
+        elif name in _ALERT_NAMES:
+            self._alert_events.append(event)
+        elif name == _SAMPLE_EVENT:
+            self._sample_ticks.add(event.ts_us)
 
     def _check_ring(self, event: TraceEvent) -> None:
         attrs = event.attrs
@@ -361,9 +404,12 @@ class TraceAuditor:
     def _open_downtime(self, event: TraceEvent) -> None:
         scope = _scope_of(event.component)
         self._downtime.setdefault(scope, []).append((event.ts_us, None))
+        self._edge_ticks.add(event.ts_us)
 
     def _close_downtime(self, event: TraceEvent) -> None:
         scope = _scope_of(event.component)
+        self._edge_ticks.add(event.ts_us)
+        self._edge_ticks.add(event.end_us)
         windows = self._downtime.setdefault(scope, [])
         for index in range(len(windows) - 1, -1, -1):
             start, end = windows[index]
@@ -405,6 +451,142 @@ class TraceAuditor:
 
     # -- finalization ---------------------------------------------------------
 
+    def _check_recovery_tiling(self) -> None:
+        """The recovery-span-tiles-downtime rule.
+
+        Gated on the trace recording any recovery spans at all: traces
+        from before the recovery engine (and synthetic fixtures that
+        only exercise other rules) stay clean.
+        """
+        if not self._recovery_roots:
+            return
+        rule = "recovery-span-tiles-downtime"
+        from repro.obs.recovery import RECOVERY_PHASES
+
+        by_scope: Dict[str, List[TraceEvent]] = {}
+        for span_id, root in sorted(self._recovery_roots.items()):
+            by_scope.setdefault(_scope_of(root.component), []).append(root)
+            children = sorted(
+                self._recovery_children.get(span_id, []),
+                key=lambda child: child.ts_us,
+            )
+            tolerance = SPAN_SUM_ATOL + SPAN_SUM_RTOL * abs(root.dur_us)
+            child_sum = sum(child.dur_us for child in children)
+            if abs(child_sum - root.dur_us) > tolerance:
+                self._flag(
+                    rule, root,
+                    f"recovery span duration {root.dur_us:.6f}us != phase "
+                    f"sum {child_sum:.6f}us",
+                    dur_us=root.dur_us, phase_sum_us=child_sum,
+                )
+            cursor = root.ts_us
+            contiguous = True
+            for child in children:
+                phase = str(child.attrs.get("phase"))
+                if phase not in RECOVERY_PHASES:
+                    self._flag(
+                        rule, child,
+                        f"unknown recovery phase {phase!r}",
+                        phase=phase,
+                    )
+                if abs(child.ts_us - cursor) > SPAN_SUM_ATOL:
+                    self._flag(
+                        rule, child,
+                        f"recovery phase {phase!r} starts at "
+                        f"{child.ts_us:.6f}us, expected {cursor:.6f}us "
+                        f"(children must tile the downtime)",
+                        expected_start_us=cursor,
+                    )
+                    contiguous = False
+                    break
+                cursor = child.end_us
+            if children and contiguous and (
+                abs(cursor - root.end_us) > tolerance
+            ):
+                self._flag(
+                    rule, root,
+                    f"last recovery phase ends at {cursor:.6f}us, recovery "
+                    f"span ends at {root.end_us:.6f}us",
+                    last_phase_end_us=cursor,
+                )
+        for child in self._recovery_orphans:
+            self._flag(
+                rule, child,
+                f"recovery.phase child references unknown parent span "
+                f"{child.attrs.get('parent_id')}",
+            )
+        # One root per closed downtime window, with matching bounds.
+        for scope in sorted(set(self._downtime) | set(by_scope)):
+            roots = by_scope.get(scope, [])
+            windows = self._downtime.get(scope, [])
+            unmatched = list(roots)
+            for start, end in windows:
+                if end is None:
+                    continue  # still open: restoration never happened
+                tolerance = SPAN_SUM_ATOL + SPAN_SUM_RTOL * abs(end - start)
+                match = next(
+                    (
+                        root for root in unmatched
+                        if abs(root.ts_us - start) <= tolerance
+                        and abs(root.end_us - end) <= tolerance
+                    ),
+                    None,
+                )
+                if match is None:
+                    self.violations.append(Violation(
+                        rule, start, scope or "cluster",
+                        f"downtime window [{start:.1f}, {end:.1f})us has no "
+                        f"matching recovery span",
+                        {"window_start_us": start, "window_end_us": end},
+                    ))
+                else:
+                    unmatched.remove(match)
+            for root in unmatched:
+                self._flag(
+                    rule, root,
+                    f"recovery span [{root.ts_us:.1f}, {root.end_us:.1f})us "
+                    f"matches no downtime window of scope "
+                    f"{scope or 'cluster'}",
+                    scope=scope,
+                )
+
+    def _check_alert_grounding(self) -> None:
+        """The alert-grounded rule: recorded alerts must equal the
+        schedule the trace's own downtime record justifies. Gated on
+        the trace carrying alert events at all."""
+        if not self._alert_events:
+            return
+        from repro.obs.alerts import _alert_key, fire_schedule, rules_from_events
+
+        rules = rules_from_events(self._alert_events)
+        ticks = sorted(self._sample_ticks or self._edge_ticks)
+        expected = fire_schedule(self._downtime, ticks, rules)
+        recorded_by_key = {
+            _alert_key(event): event for event in self._alert_events
+        }
+        expected_by_key = {_alert_key(event): event for event in expected}
+        for key in sorted(set(recorded_by_key) - set(expected_by_key)):
+            event = recorded_by_key[key]
+            self._flag(
+                "alert-grounded", event,
+                f"{event.name} for rule {event.attrs.get('rule')!r} scope "
+                f"{event.attrs.get('scope')!r} at {event.ts_us:.1f}us is not "
+                f"justified by any downtime window",
+                rule_name=event.attrs.get("rule"),
+                scope=event.attrs.get("scope"),
+            )
+        for key in sorted(set(expected_by_key) - set(recorded_by_key)):
+            event = expected_by_key[key]
+            self._flag(
+                "alert-grounded", event,
+                f"justified {event.name} for rule "
+                f"{event.attrs.get('rule')!r} scope "
+                f"{event.attrs.get('scope')!r} due at {event.ts_us:.1f}us "
+                f"was never recorded (missed window)",
+                rule_name=event.attrs.get("rule"),
+                scope=event.attrs.get("scope"),
+            )
+
     def finish(self) -> AuditReport:
         """Run the deferred whole-trace checks and return the report."""
         for span_id, parent in sorted(self._span_parents.items()):
@@ -423,6 +605,8 @@ class TraceAuditor:
                 f"commit.phase child references unknown parent span "
                 f"{child.attrs.get('parent_id')}",
             )
+        self._check_recovery_tiling()
+        self._check_alert_grounding()
         return AuditReport(
             events_seen=self.events_seen,
             commits_checked=self.commits_checked,

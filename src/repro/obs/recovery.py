@@ -1,0 +1,231 @@
+"""Causal recovery spans: where a failover's downtime goes.
+
+:mod:`repro.obs.slo` prices each crash — this module decomposes it.
+Every ``fault.crash`` opens one :data:`RECOVERY_SPAN` whose children
+tile the downtime window *exactly* (the auditor's
+``recovery-span-tiles-downtime`` rule machine-checks the tiling against
+the SLO windows):
+
+* ``detect`` — crash to failure detection (the missed-heartbeat
+  window, or zero-width for a quorum group whose loss is observed the
+  instant a member drops).
+* ``view`` — membership reconfiguration. Zero-width for a pair (the
+  view change fires at the detection instant); the *whole* quorum-loss
+  window for a leaderless group, whose outage is by construction a
+  membership problem (no reachable quorum) rather than a data problem.
+* ``promote`` — takeover/seniority promotion. Zero-width in the
+  current model (promotion is a pointer swing), kept in the vocabulary
+  for engines with real promotion work.
+* ``catchup`` — redo-ring replay or mirror/undo restore, priced from
+  the same measured quantities the takeover model charges
+  (``bytes_restored / restore_bytes_per_us``); active pairs replay the
+  ring *during* detection, so their catchup is zero-width and the
+  drain cost rides on the root attrs (modeled through
+  :class:`~repro.obs.spans.PhaseCostModel` counter deltas).
+
+``resume`` — the gap from restoration to the first *served* commit —
+is deliberately **not** a child: the root span must equal the SLO
+downtime window to the microsecond, and the first served commit lands
+at or after restoration. Instead the router emits one
+:data:`RECOVERY_RESUME` instant per failover, causally linked to the
+recovery root via ``trace_id``/``parent_id`` and to the first
+post-failover commit tree via ``commit_trace_id``; the decomposition
+in :mod:`repro.obs.critpath` reports the gap as its own column.
+
+Zero-duration phases are skipped on emission (the commit-span
+convention): every emitted child is a real contributor, and the tiling
+invariant — contiguous children, first at the root's start, last at
+the root's end — holds either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Event name of one failover's parent recovery span.
+RECOVERY_SPAN = "recovery.span"
+#: Event name of one recovery phase child span.
+RECOVERY_PHASE = "recovery.phase"
+#: Event name of the first-served-commit instant after a failover.
+RECOVERY_RESUME = "recovery.resume"
+
+PHASE_DETECT = "detect"
+PHASE_VIEW = "view"
+PHASE_PROMOTE = "promote"
+PHASE_CATCHUP = "catchup"
+#: The recovery phases, in causal order (resume is an instant, not a
+#: tiling child — see the module docstring).
+RECOVERY_PHASES: Tuple[str, ...] = (
+    PHASE_DETECT, PHASE_VIEW, PHASE_PROMOTE, PHASE_CATCHUP,
+)
+
+#: The resume column's name in decomposition tables.
+RESUME_COLUMN = "resume"
+
+
+@dataclass(frozen=True)
+class RecoveryLink:
+    """The causal handle one emitted recovery span leaves behind, so a
+    later event (the router's first served completion) can link back."""
+
+    trace_id: int
+    span_id: int
+
+
+def scope_of_component(component: str) -> str:
+    """The serving scope a ``<scope>.cluster`` component belongs to:
+    ``shard.2.cluster`` -> ``shard.2``; a bare ``cluster`` -> ``""``."""
+    scope = component.rsplit(".cluster", 1)[0]
+    return "" if scope == component else scope
+
+
+class RecoverySpanRecorder:
+    """Emits one failover's causal recovery tree through an observer.
+
+    Unlike the commit recorder (which only knows durations and tiles
+    backward from "now"), failover code knows every phase's absolute
+    boundaries, so phases are recorded as explicit ``[start, end]``
+    checkpoints in causal order; :meth:`finish` validates contiguity
+    and emits the root plus the tiled, non-empty children. Recording
+    is a pure observation — no model state is read back.
+    """
+
+    def __init__(self, observer, component: str = "cluster"):
+        self.observer = observer
+        self.component = component
+        self._phases: List[Tuple[str, float, float, Dict[str, object]]] = []
+
+    def phase(
+        self, name: str, start_us: float, end_us: float, **attrs: object
+    ) -> None:
+        if name not in RECOVERY_PHASES:
+            raise ValueError(f"unknown recovery phase {name!r}")
+        if end_us < start_us:
+            raise ValueError(
+                f"recovery phase {name!r} ends before it starts "
+                f"({end_us} < {start_us})"
+            )
+        if self._phases and start_us != self._phases[-1][2]:
+            raise ValueError(
+                f"recovery phase {name!r} starts at {start_us}, previous "
+                f"phase ended at {self._phases[-1][2]} (children must tile)"
+            )
+        self._phases.append((name, start_us, end_us, dict(attrs)))
+
+    def finish(self, **attrs: object) -> RecoveryLink:
+        """Emit the tree; returns the link a resume event points at."""
+        phases, self._phases = self._phases, []
+        if not phases:
+            raise ValueError("recovery span with no recorded phases")
+        start_us = phases[0][1]
+        end_us = phases[-1][2]
+        trace_id = self.observer.new_trace_id()
+        parent_id = self.observer.linked_span(
+            self.component, RECOVERY_SPAN, start_us, end_us, trace_id,
+            **attrs,
+        )
+        for name, phase_start, phase_end, phase_attrs in phases:
+            if phase_end == phase_start:
+                continue
+            self.observer.linked_span(
+                self.component, RECOVERY_PHASE, phase_start, phase_end,
+                trace_id, parent_id=parent_id, phase=name, **phase_attrs,
+            )
+        return RecoveryLink(trace_id=trace_id, span_id=parent_id)
+
+
+# -- analysis ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecoveryTree:
+    """One failover's reconstructed recovery decomposition."""
+
+    trace_id: int
+    span_id: int
+    component: str
+    scope: str
+    start_us: float
+    dur_us: float
+    phases: Dict[str, float]
+    attrs: Dict[str, object]
+    #: Restoration -> first served commit, when a router recorded one.
+    resume_gap_us: Optional[float] = None
+    #: The first post-failover commit's trace id, when linked.
+    resume_commit_trace_id: Optional[int] = None
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.dur_us
+
+    @property
+    def phase_sum_us(self) -> float:
+        return sum(self.phases.values())
+
+    @property
+    def dominant_phase(self) -> Optional[str]:
+        if not self.phases:
+            return None
+        return max(self.phases.items(), key=lambda item: item[1])[0]
+
+
+def collect_recoveries(
+    events: Iterable, component_prefix: Optional[str] = None
+) -> List[RecoveryTree]:
+    """Rebuild every failover's recovery tree from an event stream.
+
+    Joins :data:`RECOVERY_SPAN` parents to their :data:`RECOVERY_PHASE`
+    children and :data:`RECOVERY_RESUME` instants through the
+    ``trace_id``/``parent_id`` attrs; works on the live recorder's list
+    or on events reloaded from JSONL.
+    """
+    parents: Dict[int, object] = {}
+    phases: Dict[int, Dict[str, float]] = {}
+    resumes: Dict[int, object] = {}
+    order: List[int] = []
+    for event in events:
+        if event.name == RECOVERY_SPAN:
+            span_id = int(event.attrs["span_id"])
+            parents[span_id] = event
+            phases.setdefault(span_id, {})
+            order.append(span_id)
+        elif event.name == RECOVERY_PHASE:
+            parent_id = int(event.attrs["parent_id"])
+            by_phase = phases.setdefault(parent_id, {})
+            phase = str(event.attrs["phase"])
+            by_phase[phase] = by_phase.get(phase, 0.0) + event.dur_us
+        elif event.name == RECOVERY_RESUME:
+            parent_id = int(event.attrs["parent_id"])
+            resumes.setdefault(parent_id, event)
+    trees = []
+    for span_id in order:
+        event = parents[span_id]
+        attrs = {
+            key: value for key, value in event.attrs.items()
+            if key not in ("trace_id", "span_id")
+        }
+        resume = resumes.get(span_id)
+        gap = commit_trace_id = None
+        if resume is not None:
+            gap = resume.ts_us - (event.ts_us + event.dur_us)
+            if "commit_trace_id" in resume.attrs:
+                commit_trace_id = int(resume.attrs["commit_trace_id"])
+        tree = RecoveryTree(
+            trace_id=int(event.attrs["trace_id"]),
+            span_id=span_id,
+            component=event.component,
+            scope=scope_of_component(event.component),
+            start_us=event.ts_us,
+            dur_us=event.dur_us,
+            phases=phases[span_id],
+            attrs=attrs,
+            resume_gap_us=gap,
+            resume_commit_trace_id=commit_trace_id,
+        )
+        if component_prefix is None or (
+            tree.component == component_prefix
+            or tree.component.startswith(component_prefix + ".")
+        ):
+            trees.append(tree)
+    return trees

@@ -371,15 +371,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--scope", action="append", metavar="SCOPE", default=None,
-        help="with --slo, restrict the availability report to matching "
-             "scopes (exact label or prefix, e.g. 'shard.2', 'group'); "
-             "repeatable — shard and quorum-group scopes from one trace "
-             "can be reported separately without post-processing",
+        help="with --slo, --spans or --recovery, restrict the report to "
+             "matching scopes (exact label or prefix, e.g. 'shard.2', "
+             "'group'); repeatable — shard and quorum-group scopes from "
+             "one trace can be reported separately without "
+             "post-processing",
     )
     parser.add_argument(
         "--spans", action="store_true",
         help="summarize commit.span trees into per-phase critical-path "
              "attribution",
+    )
+    parser.add_argument(
+        "--recovery", action="store_true",
+        help="decompose each failover's recovery.span tree into its "
+             "critical-path phases (where did the downtime go?)",
+    )
+    parser.add_argument(
+        "--alerts", action="store_true",
+        help="cross-check the trace's alert.fire/alert.resolve events "
+             "against a burn-rate replay; an unjustified or missing "
+             "alert makes the exit status 1",
+    )
+    parser.add_argument(
+        "--diff", metavar="BASELINE", default=None,
+        help="structurally diff the trace (or series) against BASELINE "
+             "after canonical id renumbering; any divergence makes the "
+             "exit status 1",
     )
     parser.add_argument(
         "--series", action="store_true",
@@ -449,9 +467,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             events, audit_ok=audit_ok, failovers=report.failovers,
             scopes=args.scope,
         )
-    elif args.scope:
-        parser.error("--scope requires --slo")
-    attribution = attribute_commits(events) if args.spans else None
+    elif args.scope and not (args.spans or args.recovery):
+        parser.error("--scope requires --slo, --spans or --recovery")
+    attribution = (
+        attribute_commits(events, scopes=args.scope) if args.spans else None
+    )
+    recovery = None
+    if args.recovery:
+        from repro.obs.critpath import decompose_recoveries
+
+        recovery = decompose_recoveries(events, scopes=args.scope)
+    alert_verification = None
+    if args.alerts:
+        from repro.obs.alerts import verify_alerts
+
+        alert_verification = verify_alerts(events)
+    trace_diff = None
+    if args.diff:
+        from repro.obs.diff import diff_files
+
+        try:
+            trace_diff = diff_files(args.diff, args.trace)
+        except OSError as error:
+            parser.error(f"cannot read baseline file: {error}")
 
     if args.format == "json":
         payload: Dict[str, object] = {}
@@ -465,6 +503,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             payload["slo"] = slo_report.to_dict()
         if attribution is not None:
             payload["attribution"] = attribution.to_dict()
+        if recovery is not None:
+            payload["recovery"] = recovery.to_dict()
+        if alert_verification is not None:
+            payload["alerts"] = alert_verification.to_dict()
+        if trace_diff is not None:
+            payload["diff"] = trace_diff.to_dict()
         _emit(_json.dumps(payload, indent=2, sort_keys=True))
     else:
         sections = [] if series_only else [report.render()]
@@ -476,6 +520,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             sections.append(slo_report.render())
         if attribution is not None:
             sections.append(attribution.render())
+        if recovery is not None:
+            sections.append(recovery.render())
+        if alert_verification is not None:
+            sections.append(alert_verification.render())
+        if trace_diff is not None:
+            sections.append(trace_diff.render())
         _emit("\n\n".join(sections))
     if args.chrome_trace:
         write_chrome_trace(args.chrome_trace, events)
@@ -496,6 +546,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         print(text)
     if audit_report is not None and not audit_report.ok:
+        return 1
+    if alert_verification is not None and not alert_verification.ok:
+        return 1
+    if trace_diff is not None and not trace_diff.identical:
         return 1
     return 0
 

@@ -300,21 +300,33 @@ class PhaseAttribution:
 
 
 def attribute_commits(
-    events: Iterable, component_prefix: Optional[str] = None
+    events: Iterable,
+    component_prefix: Optional[str] = None,
+    scopes: Optional[List[str]] = None,
 ) -> PhaseAttribution:
     """Summarize the commit span trees in ``events`` per phase.
 
     ``component_prefix`` restricts the attribution to one scope (e.g.
-    ``"shard.2"``) the way :func:`~repro.obs.trace.select_events` does.
+    ``"shard.2"``) the way :func:`~repro.obs.trace.select_events` does;
+    ``scopes`` accepts a list of such selectors and keeps a tree when
+    any of them matches.
     """
     from repro.obs.report import LatencySummary
 
     trees = collect_commit_spans(events)
+
+    def _selected(component: str, prefix: str) -> bool:
+        return component == prefix or component.startswith(prefix + ".")
+
     if component_prefix is not None:
         trees = [
             tree for tree in trees
-            if tree.component == component_prefix
-            or tree.component.startswith(component_prefix + ".")
+            if _selected(tree.component, component_prefix)
+        ]
+    if scopes:
+        trees = [
+            tree for tree in trees
+            if any(_selected(tree.component, scope) for scope in scopes)
         ]
     phase_totals: Dict[str, float] = {}
     per_phase: Dict[str, List[float]] = {}

@@ -131,6 +131,13 @@ class QuorumCluster:
             raise ShardUnavailableError(shard_id)
         return request(group)
 
+    def pop_resume_link(self, shard_id: int):
+        """Consume the group's pending recovery link, if any (the
+        router's post-outage ``recovery.resume`` hook)."""
+        group = self._group(shard_id)
+        link, group.last_recovery_link = group.last_recovery_link, None
+        return link
+
     # -- faults -------------------------------------------------------------
 
     def schedule_member_crash(

@@ -44,6 +44,11 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, ShardUnavailableError
 from repro.obs.observer import resolve_observer
+from repro.obs.recovery import (
+    PHASE_DETECT,
+    PHASE_VIEW,
+    RecoverySpanRecorder,
+)
 from repro.obs.spans import (
     PHASE_QUORUM_WAIT,
     PHASE_TRANSFER,
@@ -153,6 +158,9 @@ class QuorumGroup:
         self._hints: Dict[int, Dict[int, Dict[int, Stored]]] = {}
         self._down_since_us: Optional[float] = None
         self._handoff_bytes_since_down = 0
+        #: Causal handle of the last quorum-regain recovery span, for
+        #: the router's first post-outage completion (resume link).
+        self.last_recovery_link = None
         self.stats = QuorumGroupStats()
         self.read_latencies: List[float] = []
         self.write_latencies: List[float] = []
@@ -454,6 +462,22 @@ class QuorumGroup:
                     "cluster", "takeover", start, self.sim.now,
                     bytes_restored=restored_bytes,
                     new_primary=f"group{self.group_id}/quorum",
+                )
+                # The causal recovery tree. A quorum loss is observed
+                # the instant a member drops (zero-width detect) and the
+                # whole outage is a membership problem — no reachable
+                # quorum — so the view phase spans it entirely; hinted
+                # handoff delivers instantaneously on regain.
+                recorder = RecoverySpanRecorder(self.observer, "cluster")
+                recorder.phase(PHASE_DETECT, start, start)
+                recorder.phase(
+                    PHASE_VIEW, start, self.sim.now,
+                    alive=sum(self._alive),
+                    bytes_restored=restored_bytes,
+                )
+                self.last_recovery_link = recorder.finish(
+                    node=f"group{self.group_id}/quorum",
+                    mode=self.mode,
                 )
         elif not serving and self._down_since_us is None:
             self._down_since_us = self.sim.now

@@ -200,6 +200,20 @@ class ShardedCluster:
                 epoch=self.shard_map.entry(shard_id).epoch,
             )
 
+    def pop_resume_link(self, shard_id: int):
+        """Consume the shard's pending recovery link, if any.
+
+        The router calls this after the first served commit following a
+        failover, to causally link its ``recovery.resume`` instant back
+        to the recovery span. Direct list access: dormant shards (the
+        parallel executor's inactive entries) simply have no link.
+        """
+        pair = self.pairs[shard_id]
+        if pair is None:
+            return None
+        link, pair.last_recovery_link = pair.last_recovery_link, None
+        return link
+
     # -- progress -----------------------------------------------------------
 
     def run_until(self, until_us: float) -> None:

@@ -119,6 +119,12 @@ class Router:
     def _attempt(self, record: RoutedTransaction) -> None:
         record.attempts += 1
         entry = self.map.entry(record.shard_id)
+        # Snapshot the recorder so the first post-failover completion
+        # can find the commit tree this execute call emits (resume link).
+        pre_len = (
+            len(self.observer.recorder.events)
+            if self.observer.enabled else 0
+        )
         try:
             self.cluster.execute(
                 record.shard_id,
@@ -186,6 +192,34 @@ class Router:
                 if scope_name is not None:
                     attrs["scope"] = scope_name(record.shard_id)
                 self.observer.event("router", "txn.complete", **attrs)
+                # First served commit after a failover: emit the
+                # recovery.resume instant, causally linked to the
+                # recovery span and to this commit's span tree.
+                pop_link = getattr(self.cluster, "pop_resume_link", None)
+                link = (
+                    pop_link(record.shard_id)
+                    if pop_link is not None else None
+                )
+                if link is not None:
+                    from repro.obs.recovery import RECOVERY_RESUME
+                    from repro.obs.spans import COMMIT_SPAN
+
+                    resume_attrs = {
+                        "trace_id": link.trace_id,
+                        "parent_id": link.span_id,
+                        "shard": record.shard_id,
+                    }
+                    for event in reversed(
+                        self.observer.recorder.events[pre_len:]
+                    ):
+                        if event.name == COMMIT_SPAN:
+                            resume_attrs["commit_trace_id"] = (
+                                event.attrs["trace_id"]
+                            )
+                            break
+                    self.observer.event(
+                        "router", RECOVERY_RESUME, **resume_attrs
+                    )
 
     # -- reporting ----------------------------------------------------------
 
