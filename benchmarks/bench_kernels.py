@@ -181,6 +181,110 @@ def bench_wbuf() -> dict:
     return report
 
 
+# -- memory-region backends -------------------------------------------------
+
+#: In-region and cross-region copies must clear this against the
+#: bytearray reference (whose costs are a defensive temporary on
+#: overlap-capable slice assignment and, for the cross copy — the
+#: seed's read-then-write pair — an intermediate ``bytes`` per call:
+#: ~10x and ~27x on the dev container). ``fill`` is reported ungated
+#: by this floor: the reference fill has been memcpy-bound since the
+#: page-chunked rewrite, so the numpy win there is ~2.5x by
+#: construction.
+REGION_COPY_FLOOR = 5.0
+
+
+def _time_region_op(op, repeats: int) -> float:
+    best = None
+    for _ in range(3):
+        started = time.perf_counter()
+        for _ in range(repeats):
+            op()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best / repeats
+
+
+def bench_region() -> dict:
+    """Region-backend microbenchmark: the numpy-``uint8`` region
+    versus the bytearray reference, through the public region API.
+
+    ``fill`` and ``copy`` (in-region ``copy_within``) are already
+    memcpy-shaped in the reference — PR 5 removed their Python byte
+    loops — so their headroom is one memcpy versus two; ``cross``
+    (region-to-region ``copy_from``, the mirror-update hot path) is
+    where the vectorized backend retires an intermediate ``bytes``
+    plus two Python-level calls per range and clears 5x.
+    """
+    from repro.memory.region import MemoryRegion, NumpyMemoryRegion
+
+    # Pin glibc's mmap threshold so the reference's per-call
+    # intermediate allocation cost is deterministic. Without this the
+    # dynamic threshold adjustment makes the cross-copy reference
+    # bimodal (mmap + page-touch per call, ~1 GB/s, versus a cached
+    # arena block, ~4 GB/s) depending on what the process freed
+    # earlier — an allocator artifact, not a property of the code
+    # under test. Best effort: non-glibc platforms just measure
+    # whatever their allocator does.
+    try:
+        import ctypes
+
+        M_MMAP_THRESHOLD = -3
+        ctypes.CDLL("libc.so.6").mallopt(M_MMAP_THRESHOLD, 128 * 1024)
+    except Exception:  # pragma: no cover - non-glibc
+        pass
+
+    length = MB
+    region_bytes = 2 * length
+    image = bytes(range(256)) * (length // 256)
+
+    def build(cls):
+        region = cls("bench/target", region_bytes)
+        source = cls("bench/source", length)
+        source.poke(0, image)
+        return region, source
+
+    backends = {
+        "reference": build(MemoryRegion),
+        "numpy": build(NumpyMemoryRegion),
+    }
+    cases = {
+        "fill": (region_bytes, lambda region, source: region.fill(0xA5)),
+        "copy": (
+            length,
+            lambda region, source: region.copy_within(0, length, length),
+        ),
+        "cross": (
+            length,
+            lambda region, source: region.copy_from(source, 0, 0, length),
+        ),
+    }
+    report = {}
+    for label, (volume, op) in cases.items():
+        timings = {
+            name: _time_region_op(
+                lambda pair=pair: op(pair[0], pair[1]), 30
+            )
+            for name, pair in backends.items()
+        }
+        report[label] = {
+            "reference_mb_per_s": round(volume / timings["reference"] / MB, 1),
+            "numpy_mb_per_s": round(volume / timings["numpy"] / MB, 1),
+            "speedup": round(timings["reference"] / timings["numpy"], 2),
+        }
+    # Equivalence spot-check (after the timing: snapshots make large
+    # allocations that would otherwise perturb the pinned allocator).
+    for region, source in backends.values():
+        region.fill(0xA5)
+        region.copy_from(source, 0, 0, length)
+        region.copy_within(0, length, length)
+    assert (
+        backends["numpy"][0].snapshot()
+        == backends["reference"][0].snapshot()
+    )
+    return report
+
+
 # -- end-to-end grid --------------------------------------------------------
 
 
@@ -239,6 +343,9 @@ GATES = {
     "diff.dense.speedup": "higher",
     "wbuf.contig.speedup": "higher",
     "wbuf.scatter.speedup": "higher",
+    "region.fill.speedup": "higher",
+    "region.copy.speedup": "higher",
+    "region.cross.speedup": "higher",
     "grid.speedup_vs_pr4": "higher",
 }
 
@@ -259,6 +366,15 @@ UNITS = {
     "wbuf.contig.kernel_stores_per_s": "st/s",
     "wbuf.scatter.reference_stores_per_s": "st/s",
     "wbuf.scatter.kernel_stores_per_s": "st/s",
+    "region.fill.speedup": "x",
+    "region.copy.speedup": "x",
+    "region.cross.speedup": "x",
+    "region.fill.reference_mb_per_s": "MB/s",
+    "region.fill.numpy_mb_per_s": "MB/s",
+    "region.copy.reference_mb_per_s": "MB/s",
+    "region.copy.numpy_mb_per_s": "MB/s",
+    "region.cross.reference_mb_per_s": "MB/s",
+    "region.cross.numpy_mb_per_s": "MB/s",
     "grid.reference_s": "s",
     "grid.kernels_s": "s",
     "grid.speedup": "x",
@@ -289,6 +405,7 @@ def main(argv=None) -> int:
         "events": bench_events(),
         "diff": bench_diff(),
         "wbuf": bench_wbuf(),
+        "region": bench_region(),
     }
     events = report["events"]
     print(
@@ -309,6 +426,22 @@ def main(argv=None) -> int:
             f"{wbuf['kernel_stores_per_s']:.0f} stores/s "
             f"({wbuf['speedup']}x)"
         )
+    for label in ("fill", "copy", "cross"):
+        region = report["region"][label]
+        print(
+            f"[region:{label}] {region['reference_mb_per_s']} -> "
+            f"{region['numpy_mb_per_s']} MB/s ({region['speedup']}x)"
+        )
+    for label in ("copy", "cross"):
+        if report["region"][label]["speedup"] < REGION_COPY_FLOOR:
+            print(
+                f"FAIL: region {label} speedup "
+                f"{report['region'][label]['speedup']}x is below the "
+                f"{REGION_COPY_FLOOR}x floor"
+            )
+            finalize("kernels", flatten_metrics(report, GATES, UNITS),
+                     args.output)
+            return 1
     if not args.skip_grid:
         report["grid"] = bench_grid(args.transactions)
         grid = report["grid"]

@@ -1,9 +1,10 @@
 """Wall-clock benchmark of the parallel per-shard simulation executor.
 
 Replays one recorded failover schedule — an 8-pair sharded cluster
-under a fixed round-robin load with one mid-run primary crash — through
-both :mod:`repro.fastpath.shardpar` executors and writes the result to
-``BENCH_shardpar.json``:
+under a fixed round-robin load with two mid-run primary crashes (the
+multi-crash shape the per-entry shard-map refresh made decomposable) —
+through both :mod:`repro.fastpath.shardpar` executors and writes the
+result to ``BENCH_shardpar.json``:
 
 * **sequential** — the reference: the whole cluster on one simulator.
 * **parallel** — the per-shard domain decomposition across worker
@@ -37,12 +38,12 @@ import time
 
 from _common import REPO, finalize, flatten_metrics
 
-#: The replayed schedule: 8 pairs, a long slot grid, one crash.
+#: The replayed schedule: 8 pairs, a long slot grid, two crashes on
+#: distinct shards (staggered so both takeover streams overlap load).
 NUM_SHARDS = 8
 SLOTS = 160
 OFFERED_PER_SHARD = 4
-CRASH_AT_US = 40_250.0
-CRASHED_SHARD = 2
+CRASHES = ((2, 40_250.0), (5, 90_250.0))
 
 #: Parallel legs only make sense up to the shard count.
 DEFAULT_JOBS = min(NUM_SHARDS, os.cpu_count() or 1)
@@ -59,8 +60,7 @@ def _build_plan():
         num_shards=NUM_SHARDS,
         slots=SLOTS,
         offered_per_shard=OFFERED_PER_SHARD,
-        crash_at_us=CRASH_AT_US,
-        crashed_shard=CRASHED_SHARD,
+        crashes=CRASHES,
     )
 
 
@@ -91,6 +91,7 @@ def bench_shardpar(jobs: int) -> dict:
     return {
         "shards": NUM_SHARDS,
         "slots": SLOTS,
+        "crashes": len(plan.crashes),
         "jobs": jobs,
         "cores": os.cpu_count() or 1,
         "events": len(sequential.events),
@@ -148,15 +149,27 @@ def main(argv=None) -> int:
                  args.output)
         return 1
     print("[shardpar] parallel output is byte-identical to sequential")
-    if (shardpar["cores"] >= SPEEDUP_CORES
-            and shardpar["speedup"] < SPEEDUP_FLOOR):
+    if shardpar["cores"] >= SPEEDUP_CORES:
+        if shardpar["speedup"] < SPEEDUP_FLOOR:
+            print(
+                f"FAIL: {shardpar['cores']} cores available but the "
+                f"parallel leg managed only {shardpar['speedup']}x "
+                f"(< {SPEEDUP_FLOOR}x)"
+            )
+            finalize("shardpar", flatten_metrics(report, GATES, UNITS),
+                     args.output)
+            return 1
+    else:
+        # Say so explicitly: a sub-1x "speedup" recorded on a small
+        # machine (the committed 0.904x baseline came from a 1-core
+        # container) is process-pool overhead, not a scaling result,
+        # and the ≥{floor}x requirement only binds where the cores
+        # exist to provide it.
         print(
-            f"FAIL: {shardpar['cores']} cores available but the parallel "
-            f"leg managed only {shardpar['speedup']}x (< {SPEEDUP_FLOOR}x)"
+            f"[shardpar] {SPEEDUP_FLOOR}x speedup gate skipped: "
+            f"{shardpar['cores']} core(s) < {SPEEDUP_CORES} — the "
+            f"parallel leg measures pool overhead here, not scaling"
         )
-        finalize("shardpar", flatten_metrics(report, GATES, UNITS),
-                 args.output)
-        return 1
     return finalize("shardpar", flatten_metrics(report, GATES, UNITS),
                     args.output, check_path=args.check)
 

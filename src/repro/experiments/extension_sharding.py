@@ -419,11 +419,17 @@ def failover_plan(
     crashed_shard: int = 2,
     db_bytes_per_shard: int = 4 * MB,
     seed: int = 42,
+    crashes: tuple = None,
 ) -> TimelinePlan:
     """The failover timeline as a recorded schedule: a fixed
     round-robin load (``offered_per_shard`` transactions per shard per
     slot, keyed to the first branch each shard owns) plus one primary
-    crash, replayable by either of the shardpar executors."""
+    crash, replayable by either of the shardpar executors.
+
+    ``crashes`` — a tuple of ``(shard_id, at_us)`` pairs — overrides
+    the single ``crashed_shard``/``crash_at_us`` crash: the multi-crash
+    schedules the widened decomposition boundary covers (each shard at
+    most once; the pair model has one backup)."""
     workload = ShardedWorkload(
         "debit-credit", num_shards, db_bytes_per_shard, seed=seed
     )
@@ -457,7 +463,10 @@ def failover_plan(
         # Run past the load so the retry backlog fully drains.
         horizon_us=horizon_us,
         submissions=tuple(submissions),
-        crashes=((crashed_shard, crash_at_us),),
+        crashes=(
+            ((crashed_shard, crash_at_us),) if crashes is None
+            else tuple(crashes)
+        ),
     )
 
 

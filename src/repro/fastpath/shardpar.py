@@ -11,10 +11,13 @@ evicts that shard's primary from the view, and the router consults only
 the routed shard's entry/epoch. Those router-boundary interactions are
 therefore the synchronization rule, not a synchronization *cost*: a
 plan is parallelizable exactly when its boundary mutations stay
-confined to their owning domain (at most one crash in the plan — see
-:func:`plan_supports_parallel` for why a second failover couples
-shards through the router's map snapshot). Anything else falls back to
-the sequential executor.
+confined to their owning domain. Since the router refreshes shard-map
+entries *per entry* on a redirect (one shard's redirect never
+refreshes another shard's stale entry), every failover schedule with
+distinct crashed shards satisfies the rule — multi-crash plans
+included. The decomposition boundary is the full schedule; see
+:func:`plan_supports_parallel` for the residual (degenerate) cases
+that still fall back to the sequential executor.
 
 Execution model:
 
@@ -126,19 +129,25 @@ def plan_supports_parallel(plan: TimelinePlan) -> bool:
     """Whether the plan's router-boundary interactions decompose.
 
     The per-shard domains are exact when every cross-shard mutation is
-    confined to its owning domain — which holds for at most ONE crash
-    in the plan. A second failover couples shards through the router:
-    a redirect triggered by one shard's epoch bump refreshes the
-    router's *entire* map snapshot, which can suppress another stale
-    shard's redirect in the sequential run — a control-flow difference
-    the domains (each seeing only its own crashes) cannot reproduce.
-    Plans violating the rule run sequentially — correctness first.
+    confined to its owning domain. The router refreshes its shard-map
+    snapshot *per entry* on a redirect, so one shard's epoch bump can
+    never suppress (or trigger) another shard's redirect — each
+    shard's routing behaviour is a function of its own view-change
+    history alone, and the merge replays any number of crash/takeover
+    streams by ``(time, seq)``. Every failover schedule therefore
+    decomposes, with two degenerate exceptions that run sequentially:
+
+    * fewer than two shards — nothing to decompose;
+    * a shard crashed more than once, or a crash names a shard outside
+      the map — the pair model has a single backup, so the cluster
+      (sequential or parallel) cannot replay a second failover of the
+      same shard; reject rather than guess.
     """
     if plan.num_shards < 2:
         return False
-    if len(plan.crashes) > 1:
-        return False
     crashed = [shard_id for shard_id, _ in plan.crashes]
+    if len(set(crashed)) != len(crashed):
+        return False
     if any(s < 0 or s >= plan.num_shards for s in crashed):
         return False
     return True

@@ -9,6 +9,14 @@ observer that forwards each write into Memory Channel I/O space.
 
 Every write carries a :class:`WriteCategory` so the traffic tables
 (Tables 2, 5 and 7) can be measured rather than estimated.
+
+Two backings exist behind the :func:`memory_region` factory:
+:class:`MemoryRegion` stores a plain ``bytearray`` (the reference),
+and :class:`NumpyMemoryRegion` stores a numpy ``uint8`` array so
+``fill``/``copy_within``/``copy_from`` run as vectorized slice
+operations — same bounds checks, same observer notifications, same
+statistics, per the fastpath byte-identity discipline
+(``REPRO_FASTPATH=0`` / ``--no-fastpath`` keeps the reference live).
 """
 
 from __future__ import annotations
@@ -18,6 +26,11 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.errors import CrashedError, OutOfBoundsError, ProtectionError
+
+try:  # numpy backs the fast-path region; the reference needs nothing
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
 
 
 class WriteCategory(enum.Enum):
@@ -92,7 +105,7 @@ class MemoryRegion:
         self.name = name
         self.size = size
         self.base = base
-        self.data = bytearray(size)
+        self.data = self._allocate(size)
         self._observers: List[Observer] = []
         self._fast_observers: List[FastObserver] = []
         self._protected = False
@@ -100,6 +113,13 @@ class MemoryRegion:
         self._window: Optional[tuple] = None
         self.writes_observed = 0
         self.bytes_written = 0
+
+    def _allocate(self, size: int):
+        """Allocate the backing store. Subclasses override to swap the
+        buffer implementation; the returned object must support
+        ``len``, slice reads, slice assignment from bytes-likes, and
+        the buffer protocol (``memoryview``)."""
+        return bytearray(size)
 
     # -- observation ----------------------------------------------------
 
@@ -243,6 +263,28 @@ class MemoryRegion:
             for observer in self._observers:
                 observer(event)
 
+    def copy_from(
+        self,
+        src: "MemoryRegion",
+        src_offset: int,
+        dst_offset: int,
+        length: int,
+        category: WriteCategory = WriteCategory.UNDO,
+    ) -> None:
+        """bcopy from another region (observers see the destination
+        write).
+
+        The reference implementation is the semantics-defining
+        read-then-write pair the engines used before this method
+        existed — same checks, same observer notifications, same
+        statistics, one intermediate ``bytes``.
+        :class:`NumpyMemoryRegion` overrides it with a vectorized
+        zero-copy slice assignment (that removal of the intermediate
+        copy on the mirror-update hot path is the point of the
+        override). ``src is self`` is allowed and overlap-safe.
+        """
+        self.write(dst_offset, src.read(src_offset, length), category)
+
     def poke(self, offset: int, data: bytes) -> None:
         """Setup-phase write: stores ``data`` without notifying
         observers or counting statistics. Used to load initial database
@@ -293,4 +335,116 @@ class MemoryRegion:
         return self.size
 
     def __repr__(self) -> str:
-        return f"MemoryRegion({self.name!r}, size={self.size}, base={self.base:#x})"
+        return (
+            f"{type(self).__name__}"
+            f"({self.name!r}, size={self.size}, base={self.base:#x})"
+        )
+
+
+class NumpyMemoryRegion(MemoryRegion):
+    """A region backed by a numpy ``uint8`` array.
+
+    The inherited byte-at-a-time interface (``write``/``read``/
+    ``view``/``poke``/``snapshot``) works unchanged through the buffer
+    protocol: ``self.data`` is a writable ``memoryview`` of the array,
+    so every inherited slice operation is already a straight memcpy.
+    What the subclass overrides are the bulk operations where numpy's
+    vectorized slice kernels beat the bytearray reference —
+    :meth:`fill`, :meth:`copy_within` and :meth:`copy_from` — with
+    check order, observer notifications and statistics identical to
+    the reference byte for byte (the equivalence property suite and
+    the engine-level fastpath tests both drive the two backings
+    against each other).
+    """
+
+    __slots__ = ("_array",)
+
+    def _allocate(self, size: int):
+        self._array = _np.zeros(size, dtype=_np.uint8)
+        return memoryview(self._array)
+
+    def fill(self, value: int = 0) -> None:
+        if not 0 <= value <= 255:
+            raise ValueError(f"fill value {value} is not a byte")
+        self._array[:] = value
+
+    def copy_within(
+        self,
+        src_offset: int,
+        dst_offset: int,
+        length: int,
+        category: WriteCategory = WriteCategory.UNDO,
+    ) -> None:
+        self._check_bounds(src_offset, length)
+        if length == 0:
+            return
+        self._check_bounds(dst_offset, length)
+        self._check_protection(dst_offset, length)
+        array = self._array
+        source = array[src_offset : src_offset + length]
+        if abs(dst_offset - src_offset) < length:
+            # numpy's overlap handling buffers element-wise and is
+            # slower than the bytearray reference; one explicit
+            # contiguous copy keeps the vectorized assignment.
+            source = source.copy()
+        array[dst_offset : dst_offset + length] = source
+        self.writes_observed += 1
+        self.bytes_written += length
+        if self._fast_observers:
+            for fast_observer in self._fast_observers:
+                fast_observer(dst_offset, length, category)
+        if self._observers:
+            event = WriteEvent(self, dst_offset, length, category)
+            for observer in self._observers:
+                observer(event)
+
+    def copy_from(
+        self,
+        src: MemoryRegion,
+        src_offset: int,
+        dst_offset: int,
+        length: int,
+        category: WriteCategory = WriteCategory.UNDO,
+    ) -> None:
+        src_array = getattr(src, "_array", None)
+        if src_array is None:
+            # Mixed backings (reference source): the base slice
+            # assignment already moves the bytes without a temporary.
+            super().copy_from(src, src_offset, dst_offset, length, category)
+            return
+        src._check_bounds(src_offset, length)
+        if length == 0:
+            return
+        self._check_bounds(dst_offset, length)
+        self._check_protection(dst_offset, length)
+        source = src_array[src_offset : src_offset + length]
+        if src is self and abs(dst_offset - src_offset) < length:
+            source = source.copy()
+        self._array[dst_offset : dst_offset + length] = source
+        self.writes_observed += 1
+        self.bytes_written += length
+        if self._fast_observers:
+            for fast_observer in self._fast_observers:
+                fast_observer(dst_offset, length, category)
+        if self._observers:
+            event = WriteEvent(self, dst_offset, length, category)
+            for observer in self._observers:
+                observer(event)
+
+
+def memory_region(name: str, size: int, base: int = 0) -> MemoryRegion:
+    """A memory region for a new node or channel endpoint.
+
+    Selects the numpy-backed :class:`NumpyMemoryRegion` under the fast
+    path (when numpy is importable) and the reference bytearray
+    :class:`MemoryRegion` under ``REPRO_FASTPATH=0`` /
+    ``--no-fastpath`` — same contents, same observer event stream,
+    same statistics either way, per the fastpath byte-identity
+    discipline. Mirrors
+    :func:`repro.hardware.writebuffer.writebuffer_model`.
+    """
+    import repro.fastpath
+
+    if _np is not None and repro.fastpath.enabled():
+        return NumpyMemoryRegion(name, size, base)
+    return MemoryRegion(name, size, base)

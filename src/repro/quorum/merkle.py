@@ -38,14 +38,28 @@ class MerkleTree:
     one below (an odd tail node is re-hashed alone) up to the root.
     """
 
-    def __init__(self, store: ReplicaStore, leaf_span: int = DEFAULT_LEAF_SPAN):
+    def __init__(
+        self,
+        store: ReplicaStore,
+        leaf_span: int = DEFAULT_LEAF_SPAN,
+        digests: memoryview = None,
+    ):
         if leaf_span < 1:
             raise ConfigurationError("leaf span must be positive")
         self.leaf_span = leaf_span
         self.num_leaves = (store.num_keys + leaf_span - 1) // leaf_span
+        # One zero-copy view of the store's digest cells for the whole
+        # build (callers running a sync pass hand in theirs), sliced
+        # per leaf — no per-leaf ``bytes`` is ever materialized.
+        if digests is None:
+            digests = store.digest_view()
+        cell_span = leaf_span * DIGEST_BYTES
+        total = store.num_keys * DIGEST_BYTES
         leaves = [
-            hashlib.sha1(store.leaf_bytes(index * leaf_span, leaf_span)).digest()
-            for index in range(self.num_leaves)
+            hashlib.sha1(
+                digests[start : min(start + cell_span, total)]
+            ).digest()
+            for start in range(0, total, cell_span)
         ]
         self.levels: List[List[bytes]] = [leaves]
         while len(self.levels[-1]) > 1:
@@ -110,21 +124,29 @@ def differing_keys(
     """Exact divergent key indexes between two replicas.
 
     Returns ``(keys, digests_compared)``. Leaf-level comparison runs
-    through the fast diff kernel on the concatenated digest cells.
+    through the fast diff kernel on the concatenated digest cells —
+    one zero-copy digest view per store for the whole pass (tree build
+    and leaf diffs both slice it), no intermediate ``bytes``.
     """
-    tree_a = MerkleTree(store_a, leaf_span)
-    tree_b = MerkleTree(store_b, leaf_span)
+    digests_a = store_a.digest_view()
+    digests_b = store_b.digest_view()
+    tree_a = MerkleTree(store_a, leaf_span, digests=digests_a)
+    tree_b = MerkleTree(store_b, leaf_span, digests=digests_b)
     leaves, compared = diff_leaves(tree_a, tree_b)
     keys: List[int] = []
+    cell_span = leaf_span * DIGEST_BYTES
+    total = store_a.num_keys * DIGEST_BYTES
     for leaf in leaves:
-        start_key = leaf * leaf_span
-        buffer_a = store_a.leaf_bytes(start_key, leaf_span)
-        buffer_b = store_b.leaf_bytes(start_key, leaf_span)
+        start = leaf * cell_span
+        stop = min(start + cell_span, total)
+        buffer_a = digests_a[start:stop]
+        buffer_b = digests_b[start:stop]
         touched = set()
         for offset, length in diff_runs_dispatch(buffer_a, buffer_b):
             first = offset // DIGEST_BYTES
             last = (offset + length - 1) // DIGEST_BYTES
             touched.update(range(first, last + 1))
+        start_key = leaf * leaf_span
         keys.extend(sorted(start_key + cell for cell in touched))
     return keys, compared
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.memory.region import memory_region
 from repro.quorum.versions import VersionVector, merge_all
 
 #: Fixed width of one key's digest cell in a Merkle leaf buffer.
@@ -111,6 +112,16 @@ class ReplicaStore:
             raise ConfigurationError("need at least one key")
         self.num_keys = num_keys
         self._data: Dict[int, Stored] = {}
+        # The digest cells live in one contiguous memory region
+        # (zeroed == every key at EMPTY_DIGEST), maintained lazily:
+        # writes mark keys dirty and the next identity read flushes.
+        # A key's sha1 is thus computed once per modification instead
+        # of once per Merkle tree build, and the Merkle machinery
+        # reads the cells through a single zero-copy view per pass.
+        self._digests = memory_region(
+            "quorum/digests", num_keys * DIGEST_BYTES
+        )
+        self._dirty: set = set()
 
     def _check_key(self, key: int) -> None:
         if key < 0 or key >= self.num_keys:
@@ -142,6 +153,7 @@ class ReplicaStore:
         if current is not None and merged.siblings == current.siblings:
             return False
         self._data[key] = merged
+        self._dirty.add(key)
         return True
 
     # -- identity ------------------------------------------------------------
@@ -153,12 +165,39 @@ class ReplicaStore:
             return EMPTY_DIGEST
         return hashlib.sha1(stored.encode()).digest()
 
+    def _flush_digests(self) -> None:
+        """Refresh the digest cells of keys written since the last
+        identity read."""
+        if not self._dirty:
+            return
+        poke = self._digests.poke
+        data = self._data
+        for key in self._dirty:
+            poke(
+                key * DIGEST_BYTES,
+                hashlib.sha1(data[key].encode()).digest(),
+            )
+        self._dirty.clear()
+
+    def digest_view(self) -> memoryview:
+        """A read-only zero-copy view of every key's digest cell.
+
+        This is the buffer the Merkle machinery consumes: one view per
+        tree build / sync pass, sliced per leaf, with no intermediate
+        ``bytes`` on the repair hot path.
+        """
+        self._flush_digests()
+        return self._digests.view(0, self.num_keys * DIGEST_BYTES)
+
     def leaf_bytes(self, start_key: int, span: int) -> bytes:
         """Concatenated digest cells of keys [start_key, start_key+span)
-        — the buffer the Merkle leaf comparator diffs."""
-        return b"".join(
-            self.key_digest(key)
-            for key in range(start_key, min(start_key + span, self.num_keys))
+        — a materialized slice of :meth:`digest_view`, kept for
+        callers that want owned bytes (the hot path slices the view
+        directly)."""
+        end_key = min(start_key + span, self.num_keys)
+        self._flush_digests()
+        return self._digests.read(
+            start_key * DIGEST_BYTES, (end_key - start_key) * DIGEST_BYTES
         )
 
     def canonical_bytes(self) -> bytes:

@@ -8,9 +8,16 @@ shared simulator instead of an error at the client:
 * **Stale view** — the shard failed over after the snapshot was taken;
   the server fences the request
   (:class:`~repro.errors.StaleShardMapError`). The router refreshes
-  its snapshot and *redirects* immediately (same simulated instant —
-  the map lookup is a local RPC in a real deployment, and its latency
-  is far below the simulator's microsecond event scale).
+  *that shard's entry* and *redirects* immediately (same simulated
+  instant — the entry lookup is a local RPC in a real deployment, and
+  its latency is far below the simulator's microsecond event scale).
+  The refresh is per-entry on purpose: fetching the whole map would
+  couple unrelated shards (one shard's redirect silently refreshing
+  another's stale entry), which would make multi-crash schedules
+  non-decomposable for the per-shard parallel executor
+  (:mod:`repro.fastpath.shardpar`). With a single entry refreshed,
+  each shard's redirect behaviour depends only on its own epoch
+  history — exactly what each decomposed domain reproduces.
 * **Shard mid-failover** — the new primary is still restoring
   (:class:`~repro.errors.ShardUnavailableError`). The router *retries*
   with exponential backoff until the shard returns or the attempt
@@ -134,10 +141,16 @@ class Router:
                 ),
             )
         except StaleShardMapError:
-            # Refresh the map and redirect at the same instant; the
-            # new entry either serves or reports the shard unavailable.
+            # Refresh only this shard's entry and redirect at the same
+            # instant; the new entry either serves or reports the
+            # shard unavailable. Per-entry (not a full snapshot) so
+            # one shard's redirect never refreshes another shard's
+            # stale entry — the decoupling the per-shard domain
+            # decomposition relies on for multi-crash plans.
             self.redirects += 1
-            self.map = self.cluster.shard_map.snapshot()
+            self.map = self.map.with_entry(
+                self.cluster.shard_map.entry(record.shard_id)
+            )
             if self.observer.enabled:
                 self.observer.count("router.redirects")
                 self.observer.event(

@@ -116,3 +116,29 @@ class ShardMapSnapshot:
                 f"shard {shard_id} not in snapshot of {len(self.entries)}"
             )
         return self.entries[shard_id]
+
+    def with_entry(self, entry: ShardInfo) -> "ShardMapSnapshot":
+        """A new snapshot with one entry replaced — the per-entry
+        refresh a router performs on a redirect.
+
+        Only the stale shard's entry is updated; every other entry
+        (and the snapshot-level ``epoch``, which is bookkeeping for
+        ``__repr__``/diagnostics, never consulted for routing) keeps
+        whatever the router last saw. That keeps each shard's routing
+        state a function of *that shard's* view-change history alone,
+        which is what lets the per-shard domain decomposition
+        (:mod:`repro.fastpath.shardpar`) replay multi-crash schedules:
+        shard A failing over can no longer silently refresh the
+        router's entry for shard B.
+        """
+        if entry.shard_id < 0 or entry.shard_id >= len(self.entries):
+            raise ConfigurationError(
+                f"shard {entry.shard_id} not in snapshot of "
+                f"{len(self.entries)}"
+            )
+        entries = (
+            self.entries[: entry.shard_id]
+            + (entry,)
+            + self.entries[entry.shard_id + 1:]
+        )
+        return ShardMapSnapshot(entries, self.epoch)

@@ -92,9 +92,15 @@ class MirrorCopyEngine(TransactionEngine):
         self._record_range(offset, length)
 
     def _update_mirror(self, offset: int, length: int) -> None:
-        """Refresh the mirror for one committed range (straight copy)."""
-        data = self.db.read(offset, length)
-        self.mirror.write(offset, data, WriteCategory.UNDO)
+        """Refresh the mirror for one committed range (straight copy).
+
+        ``copy_from`` moves the bytes region-to-region without the
+        intermediate ``bytes`` a read-then-write pair materializes;
+        observers and statistics see exactly the write the pair
+        produced.
+        """
+        self.mirror.copy_from(self.db, offset, offset, length,
+                              WriteCategory.UNDO)
         self.counters.undo_bytes_copied += length
         self.profile.touch_random("mirror", offset, length)
 
@@ -106,8 +112,8 @@ class MirrorCopyEngine(TransactionEngine):
 
     def _restore_ranges(self) -> None:
         for offset, length in reversed(self._declared_ranges()):
-            committed = self.mirror.read(offset, length)
-            self.db.write(offset, committed, WriteCategory.MODIFIED)
+            self.db.copy_from(self.mirror, offset, offset, length,
+                              WriteCategory.MODIFIED)
             self.counters.rollback_bytes += length
         self.range_array.truncate(0)
 
@@ -123,7 +129,9 @@ class MirrorCopyEngine(TransactionEngine):
         entire mirror over the database."""
         for offset in range(0, self.db.size, _RESTORE_CHUNK):
             chunk = min(_RESTORE_CHUNK, self.db.size - offset)
-            self.db.poke(offset, self.mirror.read(offset, chunk))
+            # poke accepts any bytes-like; the view avoids one
+            # chunk-sized intermediate copy per iteration.
+            self.db.poke(offset, self.mirror.view(offset, chunk))
         self.counters.rollback_bytes += self.db.size
         self.range_array.truncate(0)
         self._active = False

@@ -1,0 +1,109 @@
+"""Golden-grid check for the multi-crash parallel decomposition.
+
+An 8-pair failover schedule with two primary crashes — the schedule
+shape the one-crash boundary used to reject — must produce
+byte-identical artifacts (trace JSONL, sampled series bytes, router
+totals, takeover downtimes) across ``--shard-jobs 1/2/4``, with the
+fast path disabled via the ``--no-fastpath`` mechanism, and with
+``REPRO_FASTPATH=0`` in the environment. Each configuration runs in
+its own subprocess so the environment switch and the process pool are
+exercised exactly the way a user would drive them; the merged trace is
+then audited against the full invariant rule set.
+
+CI repeats the jobs-1-vs-2 comparison through ``repro.obs.diff`` on
+the same multi-crash plan.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs.audit import audit_trace_file
+
+SRC = str(Path(__file__).resolve().parent.parent.parent / "src")
+
+#: Two crashes on distinct shards of an 8-pair cluster, staggered so
+#: the second failover lands while the first shard is already serving
+#: again — two full crash/takeover streams for the merge to replay.
+_SCRIPT = """
+import json, sys
+import repro.fastpath as fastpath
+from repro.experiments.extension_sharding import failover_plan
+from repro.fastpath import shardpar
+from repro.obs.export import write_jsonl
+
+jobs = int(sys.argv[1])
+out = sys.argv[2]
+if "--no-fastpath" in sys.argv:
+    fastpath.set_enabled(False)
+plan = failover_plan(
+    num_shards=8,
+    crashes=((2, 5_250.0), (5, 13_250.0)),
+)
+assert len(plan.crashes) == 2
+outcome = shardpar.execute(plan, jobs=jobs)
+write_jsonl(out + ".trace.jsonl", outcome.events)
+with open(out + ".series.bin", "wb") as fh:
+    fh.write(outcome.frame.to_bytes())
+with open(out + ".totals.json", "w") as fh:
+    json.dump(
+        {
+            "routed": outcome.routed,
+            "completed": outcome.completed,
+            "dropped": outcome.dropped,
+            "takeover_downtime_us": {
+                str(k): v
+                for k, v in sorted(outcome.takeover_downtime_us.items())
+            },
+        },
+        fh,
+        sort_keys=True,
+    )
+"""
+
+LEGS = (
+    ("jobs1", "1", (), ()),
+    ("jobs2", "2", (), ()),
+    ("jobs4", "4", (), ()),
+    ("jobs1-noflag", "1", ("--no-fastpath",), ()),
+    ("jobs2-envoff", "2", (), (("REPRO_FASTPATH", "0"),)),
+)
+
+
+def _run_leg(tmp_path, name, jobs, extra_args, env_overrides):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("REPRO_FASTPATH", None)
+    env.update(dict(env_overrides))
+    out = str(tmp_path / name)
+    subprocess.run(
+        [sys.executable, "-c", _SCRIPT, jobs, out, *extra_args],
+        env=env,
+        check=True,
+    )
+    return {
+        suffix: (tmp_path / (name + suffix)).read_bytes()
+        for suffix in (".trace.jsonl", ".series.bin", ".totals.json")
+    }
+
+
+def test_multi_crash_grid_byte_identical_and_audited(tmp_path):
+    artifacts = {
+        name: _run_leg(tmp_path, name, jobs, extra_args, env_overrides)
+        for name, jobs, extra_args, env_overrides in LEGS
+    }
+    baseline = artifacts["jobs1"]
+    assert baseline[".trace.jsonl"]  # non-trivial run
+    for name, produced in artifacts.items():
+        assert produced == baseline, f"leg {name} diverged"
+    # Both crash/takeover streams survived the merge and the full
+    # invariant rule set holds on the merged trace.
+    report = audit_trace_file(str(tmp_path / "jobs2.trace.jsonl"))
+    assert report.ok, report.render()
+    trace = baseline[".trace.jsonl"].decode()
+    assert trace.count('"fault.crash"') == 2
+    assert trace.count('"takeover"') == 2
+    assert trace.count('"recovery.span"') == 2

@@ -1,0 +1,232 @@
+"""Property-based equivalence for the two memory-region backings.
+
+:func:`repro.memory.region.memory_region` swaps a numpy-``uint8``
+region in under the fast path; the byte-identity discipline demands
+the swap be invisible everywhere the reproduction can look. Random
+operation sequences — writes, pokes, fills, overlapping in-region
+copies, cross-region copies (mixed backings included), protection
+windows, out-of-bounds attempts — must leave :class:`NumpyMemoryRegion`
+and the reference :class:`MemoryRegion` with identical bytes, identical
+observer event streams, identical statistics, and identical error
+behaviour, at every offset alignment (the region size is prime, so
+partial words and boundary tails occur constantly). On top of the
+region-level properties, a full Vista engine must produce identical
+:class:`~repro.vista.stats.AccessProfile` snapshots and counters with
+either backing underneath it.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import fastpath
+from repro.fastpath.kernels import diff_runs_dispatch, diff_runs_fast
+from repro.memory.region import (
+    MemoryRegion,
+    NumpyMemoryRegion,
+    WriteCategory,
+    memory_region,
+)
+from repro.replication.passive import PassiveReplicatedSystem
+from repro.vista import EngineConfig
+from repro.workloads import DebitCreditWorkload, run_workload
+
+#: Prime, so leaf/word/page boundaries never line up with the size.
+SIZE = 193
+
+_categories = st.sampled_from(list(WriteCategory))
+
+#: One region operation. Offsets/lengths deliberately range past the
+#: region end so both backings' error paths are exercised too.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("write"),
+            st.integers(0, SIZE + 8),
+            st.binary(min_size=0, max_size=41),
+            _categories,
+        ),
+        st.tuples(
+            st.just("poke"), st.integers(0, SIZE + 8),
+            st.binary(min_size=0, max_size=41),
+        ),
+        st.tuples(st.just("fill"), st.integers(0, 255)),
+        st.tuples(
+            st.just("copy"),
+            st.integers(0, SIZE + 8),   # src (overlap with dst common)
+            st.integers(0, SIZE + 8),   # dst
+            st.integers(0, 48),
+            _categories,
+        ),
+        st.tuples(
+            st.just("xcopy"),           # from the paired source region
+            st.integers(0, SIZE + 8),
+            st.integers(0, SIZE + 8),
+            st.integers(0, 48),
+            _categories,
+        ),
+        st.tuples(st.just("protect")),
+        st.tuples(st.just("unprotect")),
+        st.tuples(
+            st.just("window"), st.integers(0, SIZE + 8), st.integers(0, 32)
+        ),
+        st.tuples(st.just("close")),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+#: Deterministic source-region image for the cross-copy op.
+_SOURCE_IMAGE = bytes((i * 37 + 11) % 256 for i in range(SIZE))
+
+
+def _instrumented(region):
+    """Attach both observer flavours; returns the recorded streams."""
+    events, fast_events = [], []
+    region.add_observer(
+        lambda e: events.append((e.offset, e.length, e.category))
+    )
+    region.add_fast_observer(
+        lambda offset, length, category:
+        fast_events.append((offset, length, category))
+    )
+    return events, fast_events
+
+
+def _drive(region, source, ops):
+    """Apply ``ops``; returns per-op outcomes (None or the raised
+    exception type — error behaviour must match across backings)."""
+    outcomes = []
+    for op in ops:
+        try:
+            if op[0] == "write":
+                region.write(op[1], op[2], op[3])
+            elif op[0] == "poke":
+                region.poke(op[1], op[2])
+            elif op[0] == "fill":
+                region.fill(op[1])
+            elif op[0] == "copy":
+                region.copy_within(op[1], op[2], op[3], op[4])
+            elif op[0] == "xcopy":
+                region.copy_from(source, op[1], op[2], op[3], op[4])
+            elif op[0] == "protect":
+                region.protect()
+            elif op[0] == "unprotect":
+                region.unprotect()
+            elif op[0] == "window":
+                region.open_window(op[1], op[2])
+            elif op[0] == "close":
+                region.close_window()
+            outcomes.append(None)
+        except Exception as error:  # noqa: BLE001 - compared by type
+            outcomes.append(type(error))
+    return outcomes
+
+
+def _run_backend(region_cls, source_cls, ops):
+    region = region_cls("target", SIZE)
+    source = source_cls("source", SIZE)
+    source.poke(0, _SOURCE_IMAGE)
+    events, fast_events = _instrumented(region)
+    outcomes = _drive(region, source, ops)
+    return {
+        "bytes": region.snapshot(),
+        "events": events,
+        "fast_events": fast_events,
+        "writes_observed": region.writes_observed,
+        "bytes_written": region.bytes_written,
+        "outcomes": outcomes,
+    }
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=_ops)
+def test_numpy_region_matches_reference(ops):
+    """Op for op: same bytes, same observer streams, same statistics,
+    same exception types — numpy backing vs bytearray reference."""
+    reference = _run_backend(MemoryRegion, MemoryRegion, ops)
+    vectorized = _run_backend(NumpyMemoryRegion, NumpyMemoryRegion, ops)
+    assert vectorized == reference
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=_ops)
+def test_mixed_backings_match_reference(ops):
+    """``copy_from`` across backings (numpy target, bytearray source)
+    goes through the base-class slice assignment; it must be just as
+    invisible."""
+    reference = _run_backend(MemoryRegion, MemoryRegion, ops)
+    mixed = _run_backend(NumpyMemoryRegion, MemoryRegion, ops)
+    assert mixed == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_a=_ops, ops_b=_ops)
+def test_diff_over_region_views_is_backend_invariant(ops_a, ops_b):
+    """Both diff implementations, fed zero-copy views of either
+    backing, report the same difference runs."""
+    runs = []
+    for cls in (MemoryRegion, NumpyMemoryRegion):
+        a = cls("a", SIZE)
+        b = cls("b", SIZE)
+        source = cls("source", SIZE)
+        source.poke(0, _SOURCE_IMAGE)
+        _drive(a, source, ops_a)
+        _drive(b, source, ops_b)
+        view_a = a.view(0, SIZE)
+        view_b = b.view(0, SIZE)
+        runs.append(
+            (
+                diff_runs_fast(view_a, view_b),
+                diff_runs_dispatch(view_a, view_b),
+            )
+        )
+    assert runs[0] == runs[1]
+
+
+def test_factory_selects_backend_on_the_fastpath_switch():
+    with fastpath.forced():
+        fast = memory_region("fast", SIZE)
+    with fastpath.disabled():
+        slow = memory_region("slow", SIZE)
+    assert isinstance(fast, NumpyMemoryRegion)
+    assert isinstance(slow, MemoryRegion)
+    assert not isinstance(slow, NumpyMemoryRegion)
+
+
+# -- engine-level: AccessProfile snapshots ----------------------------
+
+MB = 1024 * 1024
+_CONFIG = EngineConfig(db_bytes=4 * MB, log_bytes=128 * 1024)
+
+
+def _measure_engine(seed: int):
+    system = PassiveReplicatedSystem("v1", _CONFIG)
+    workload = DebitCreditWorkload(_CONFIG.db_bytes, seed=seed)
+    workload.setup(system)
+    system.sync_initial()
+    result = run_workload(system, workload, 40, warmup=5, verify=True)
+    return {
+        "counters": vars(result.counters).copy(),
+        "working_set": dict(result.profile.working_set_bytes),
+        "random_lines": dict(result.profile.random_lines),
+        "sequential_bytes": dict(result.profile.sequential_bytes),
+    }
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_engine_access_profile_identical_across_backings(seed):
+    """A full mirrored engine run records the same AccessProfile
+    snapshot and counters whichever region backing the factory picked
+    (``fastpath.disabled()`` pins the bytearray reference)."""
+    with fastpath.disabled():
+        slow = _measure_engine(seed)
+    with fastpath.forced():
+        fast = _measure_engine(seed)
+    assert fast == slow
+
+
+def test_numpy_backend_requires_numpy():
+    pytest.importorskip("numpy")

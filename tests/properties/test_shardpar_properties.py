@@ -52,8 +52,9 @@ _crashes = st.lists(
         st.integers(0, 2),     # crashed shard
         st.integers(2, 300),   # at_us / 50 (>= first heartbeat)
     ),
-    min_size=0, max_size=1,    # one crash per plan: the decomposition rule
-)
+    min_size=0, max_size=3,    # up to every shard crashing once
+    unique_by=lambda crash: crash[0],  # one backup per pair: a shard
+)                                      # can fail over at most once
 
 
 def _plan(submissions, crashes, seed: int) -> TimelinePlan:
@@ -108,15 +109,26 @@ def test_decomposed_equals_sequential_across_processes():
     _assert_identical(plan, jobs=2)
 
 
-def test_multi_crash_plan_is_not_decomposable():
-    """A second failover couples shards through the router's full-map
-    snapshot refresh (one shard's redirect can suppress another's);
-    the guard must route such plans to the sequential executor."""
+def test_multi_crash_plan_is_decomposable_and_identical():
+    """Multi-crash schedules decompose now that the router refreshes
+    shard-map entries per entry: one shard's redirect can no longer
+    suppress another's. The merge replays both crash/takeover streams
+    into the sequential order exactly."""
+    submissions = [(slot, slot % 3) for slot in range(0, 80, 3)]
+    plan = _plan(submissions, [(1, 20), (2, 180)], seed=7)
+    assert plan_supports_parallel(plan)
+    _assert_identical(plan)
+
+
+def test_repeated_crash_of_one_shard_is_rejected():
+    """A pair has a single backup, so a shard can fail over at most
+    once; a plan crashing the same shard twice must fall back to the
+    sequential executor (which will reject it) rather than guess."""
     plan = _plan([(0, 0)], [(0, 20)], seed=1)
-    coupled = TimelinePlan(
-        **{**plan.__dict__, "crashes": ((1, 1000.0), (2, 9000.0))}
+    repeated = TimelinePlan(
+        **{**plan.__dict__, "crashes": ((1, 1000.0), (1, 9000.0))}
     )
-    assert not plan_supports_parallel(coupled)
+    assert not plan_supports_parallel(repeated)
     assert plan_supports_parallel(plan)
 
 

@@ -160,3 +160,47 @@ def test_one_sync_pass_converges_two_replicas():
     again = anti_entropy_sync(a, b, 8)
     assert again.keys_synced == 0
     assert again.digests_compared == 1
+
+
+# -- the repair hot path stays zero-copy --------------------------------------
+
+
+def test_digest_view_matches_leaf_bytes_and_is_readonly():
+    store = ReplicaStore(12)
+    for key in (0, 3, 7):
+        store.apply(key, record(bytes([key]), [(0, key + 1)]))
+    view = store.digest_view()
+    assert view.readonly
+    before = bytes(view)
+    assert before == store.leaf_bytes(0, store.num_keys)
+    # Writes after a view dirty the cells; the next view sees them.
+    store.apply(5, record(b"late", [(1, 1)]))
+    refreshed = bytes(store.digest_view())
+    assert refreshed != before
+    assert refreshed == store.leaf_bytes(0, store.num_keys)
+
+
+def test_repair_hot_path_makes_no_intermediate_bytes(monkeypatch):
+    """The sync pass must run entirely on hoisted digest views:
+    tree builds and leaf diffs slice one view per store, and nothing
+    on the path materializes per-leaf ``bytes`` through
+    ``leaf_bytes``/``read``. Regression guard for the view hoist."""
+    a = ReplicaStore(64)
+    b = ReplicaStore(64)
+    for key in range(0, 64, 3):
+        a.apply(key, record(b"a" * 8, [(0, key + 1)], ts=1.0))
+    for key in range(0, 64, 5):
+        b.apply(key, record(b"b" * 8, [(1, key + 1)], ts=2.0, writer=1))
+
+    def boom(self, *args, **kwargs):
+        raise AssertionError(
+            "repair hot path materialized intermediate bytes"
+        )
+
+    monkeypatch.setattr(ReplicaStore, "leaf_bytes", boom)
+    monkeypatch.setattr(type(a._digests), "read", boom)
+    keys, compared = differing_keys(a, b, leaf_span=4)
+    assert keys and compared
+    stats = anti_entropy_sync(a, b, leaf_span=4)
+    assert stats.keys_synced == len(keys)
+    assert a.canonical_bytes() == b.canonical_bytes()
